@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Every benchmark builds one paper table/figure through the process-wide
+memoized :class:`~repro.harness.runner.Runner`, so simulations shared by
+several figures run once.  Each bench prints its table and also writes it to
+``results/<name>.txt`` so the regenerated evaluation survives the run.
+
+Run with ``pytest benchmarks/ --benchmark-only``; set ``REPRO_BENCH_FULL=1``
+for the paper's full PageRank iteration count.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.report import render_table
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Render, print, and persist one experiment table."""
+
+    def _emit(name: str, table: tuple) -> list[list[object]]:
+        title, headers, rows = table
+        text = render_table(headers, rows, title=title)
+        print("\n" + text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        return rows
+
+    return _emit

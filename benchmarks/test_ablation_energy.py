@@ -1,0 +1,57 @@
+"""Extension: energy comparison (the paper's McPAT/DDR methodology, §VI-A).
+
+The paper derives chip and memory energy with McPAT and Micron datasheets
+but reports no per-system energy figure; this extension completes that
+analysis with the repo's energy model.  Expected shape: ChGraph's DRAM
+energy shrinks with its access reduction, and total energy follows, because
+DRAM dominates a memory-bound workload's energy.
+"""
+
+from repro.engine import ChGraphEngine, HygraEngine
+from repro.harness.runner import get_runner
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+
+def _measure():
+    runner = get_runner()
+    config = scaled_config()
+    rows = []
+    for dataset in ("OK", "WEB"):
+        hypergraph = runner.dataset(dataset)
+        resources = runner.resources(hypergraph, config)
+        systems = {}
+        for name, engine in (
+            ("Hygra", HygraEngine()),
+            ("ChGraph", ChGraphEngine(resources)),
+        ):
+            system = SimulatedSystem(config)
+            engine.run(runner.algorithm("PR"), hypergraph, system)
+            systems[name] = system
+        for name, system in systems.items():
+            report = system.energy()
+            rows.append([
+                dataset,
+                name,
+                report.dram_nj,
+                report.total_nj,
+                report.memory_fraction,
+            ])
+    return (
+        "Extension: energy, PR (nJ)",
+        ["Dataset", "System", "DRAM nJ", "Total nJ", "DRAM fraction"],
+        rows,
+    )
+
+
+def test_ablation_energy(benchmark, emit):
+    rows = emit(
+        "ablation_energy", benchmark.pedantic(_measure, rounds=1, iterations=1)
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    for dataset in ("OK", "WEB"):
+        hygra = by_key[(dataset, "Hygra")]
+        chgraph = by_key[(dataset, "ChGraph")]
+        assert chgraph[2] < hygra[2], "DRAM energy must shrink"
+        assert chgraph[3] < hygra[3], "total energy must shrink"
+        assert 0.0 < chgraph[4] <= 1.0

@@ -1,0 +1,52 @@
+"""Extension: chunk-serial vs round-robin core interleaving.
+
+DESIGN.md documents that the simulator runs cores' chunks serially through
+the shared hierarchy; real cores interleave.  This bench bounds the error:
+both extremes (fully serial, perfectly fair round-robin) run the same PR
+workload, and their DRAM counts must agree within a modest margin for the
+serial simplification to be sound.
+"""
+
+from repro.engine import HygraEngine
+from repro.engine.interleaved import InterleavedHygraEngine
+from repro.harness.runner import get_runner
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+import numpy as np
+
+
+def _measure():
+    runner = get_runner()
+    config = scaled_config()
+    rows = []
+    for dataset in ("OK", "WEB"):
+        hypergraph = runner.dataset(dataset)
+        serial = HygraEngine().run(
+            runner.algorithm("PR"), hypergraph, SimulatedSystem(config)
+        )
+        interleaved = InterleavedHygraEngine().run(
+            runner.algorithm("PR"), hypergraph, SimulatedSystem(config)
+        )
+        assert np.allclose(serial.result, interleaved.result)
+        rows.append([
+            dataset,
+            serial.dram_accesses,
+            interleaved.dram_accesses,
+            interleaved.dram_accesses / serial.dram_accesses,
+        ])
+    return (
+        "Extension: core-interleaving sensitivity (Hygra PR DRAM accesses)",
+        ["Dataset", "Chunk-serial", "Round-robin", "Ratio"],
+        rows,
+    )
+
+
+def test_ablation_interleaving(benchmark, emit):
+    rows = emit(
+        "ablation_interleaving",
+        benchmark.pedantic(_measure, rounds=1, iterations=1),
+    )
+    for row in rows:
+        # The simplification is sound if the two extremes agree within ~30%.
+        assert 0.7 <= row[3] <= 1.3

@@ -1,0 +1,21 @@
+"""Figure 8: the overlapped feature of the hypergraphs."""
+
+from repro.harness.experiments import fig08_overlap
+from repro.harness.runner import get_runner
+
+
+def test_fig08_overlap_ratios(benchmark, emit):
+    runner = get_runner()
+    rows = emit(
+        "fig08",
+        benchmark.pedantic(fig08_overlap, args=(runner,), rounds=1, iterations=1),
+    )
+    # Paper: 55-96% of vertices shared by two hyperedges; the heavy-overlap
+    # datasets (OG/LJ/OK) dominate the high-threshold tail over FS/WEB.
+    vertex_rows = {row[1]: row[2:] for row in rows if row[0] == "vertex"}
+    for dataset, curve in vertex_rows.items():
+        assert curve[0] > 0.5, f"{dataset}: too little sharing"
+        assert list(curve) == sorted(curve, reverse=True)
+    heavy = min(vertex_rows[d][-1] for d in ("OK", "LJ", "OG"))
+    light = max(vertex_rows[d][-1] for d in ("FS", "WEB"))
+    assert heavy >= light

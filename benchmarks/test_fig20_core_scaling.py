@@ -1,0 +1,21 @@
+"""Figure 20: scaling with the number of cores."""
+
+from repro.harness.experiments import fig20_core_scaling
+from repro.harness.runner import get_runner
+
+
+def test_fig20_core_scaling(benchmark, emit):
+    runner = get_runner()
+    rows = emit(
+        "fig20",
+        benchmark.pedantic(fig20_core_scaling, args=(runner,), rounds=1, iterations=1),
+    )
+    chgraph_cycles = [row[2] for row in rows]
+    # More cores -> faster, with diminishing returns (paper's growth-rate
+    # observation): the 8->16 gain is smaller than the 4->8 gain.
+    assert chgraph_cycles[0] > chgraph_cycles[1] > chgraph_cycles[2]
+    gain_4_8 = chgraph_cycles[0] / chgraph_cycles[1]
+    gain_8_16 = chgraph_cycles[1] / chgraph_cycles[2]
+    assert gain_4_8 >= gain_8_16 * 0.9
+    # ChGraph keeps beating Hygra at every core count.
+    assert all(row[3] > 1.0 for row in rows)

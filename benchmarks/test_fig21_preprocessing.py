@@ -1,0 +1,18 @@
+"""Figure 21: ChGraph's extra preprocessing time and storage."""
+
+from repro.harness.experiments import fig21_preprocessing
+from repro.harness.runner import get_runner
+
+
+def test_fig21_preprocessing(benchmark, emit):
+    runner = get_runner()
+    rows = emit(
+        "fig21",
+        benchmark.pedantic(fig21_preprocessing, args=(runner,), rounds=1, iterations=1),
+    )
+    # Paper: +13.6%-46% preprocessing time and +13.9%-20.4% storage.  The
+    # shape check: both overheads exist, are bounded, and storage stays a
+    # modest fraction of the dataset.
+    for _, extra_time, extra_storage in rows:
+        assert extra_time > 0
+        assert 0 < extra_storage < 100

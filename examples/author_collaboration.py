@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's motivating example: scholarly impact in a collaboration network.
+
+The introduction motivates hypergraphs with an author-collaboration network:
+authors are vertices, co-authored papers are hyperedges, and a
+PageRank-style analysis measures scholarly impact.  An ordinary graph loses
+the per-paper grouping (every co-author pair looks alike); the hypergraph
+keeps it, so prolific authors of *small, strong* collaborations are scored
+differently from names buried on huge author lists.
+
+This example builds a synthetic collaboration network, ranks authors with
+hypergraph PageRank, then contrasts against the clique-expanded ordinary
+graph to show the semantic difference the paper describes.
+
+Run:  python examples/author_collaboration.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro import HygraEngine, PageRank
+from repro.harness.report import render_table
+from repro.hypergraph.generators import two_uniform_graph
+from repro.hypergraph.hypergraph import Hypergraph
+
+NUM_AUTHORS = 400
+NUM_PAPERS = 600
+
+
+def build_collaboration_network(seed: int = 17) -> Hypergraph:
+    """Research groups write small papers; consortia write huge ones."""
+    rng = random.Random(seed)
+    groups = [rng.sample(range(NUM_AUTHORS), 12) for _ in range(40)]
+    papers = []
+    for _ in range(NUM_PAPERS - 12):
+        group = rng.choice(groups)
+        papers.append(rng.sample(group, rng.randint(2, 4)))
+    # A handful of 40-author consortium papers.
+    for _ in range(12):
+        papers.append(rng.sample(range(NUM_AUTHORS), 40))
+    return Hypergraph.from_hyperedge_lists(
+        papers, num_vertices=NUM_AUTHORS, name="collab"
+    )
+
+
+def main() -> None:
+    hypergraph = build_collaboration_network()
+    print(f"collaboration network: {hypergraph}\n")
+
+    # Hypergraph ranking: each paper's influence is split among its authors.
+    hyper_run = HygraEngine().run(PageRank(iterations=10), hypergraph)
+    hyper_rank = hyper_run.result
+
+    # Ordinary-graph ranking on the clique expansion: per-paper structure is
+    # lost, so consortium papers flood the graph with pairwise edges.
+    clique_edges = hypergraph.clique_expansion()
+    graph = two_uniform_graph(
+        clique_edges, num_vertices=NUM_AUTHORS, name="collab-clique"
+    )
+    graph_run = HygraEngine().run(PageRank(iterations=10), graph)
+    graph_rank = graph_run.result
+
+    top_hyper = np.argsort(hyper_rank)[::-1][:8]
+    rows = []
+    for author in top_hyper:
+        rows.append([
+            f"author {int(author)}",
+            hypergraph.vertex_degree(int(author)),
+            hyper_rank[author],
+            graph_rank[author],
+            int(np.sum(graph_rank > graph_rank[author])) + 1,
+        ])
+    print(
+        render_table(
+            ["Author", "#Papers", "Hypergraph PR", "Clique PR", "Clique pos"],
+            rows,
+            title="Top authors by hypergraph PageRank",
+        )
+    )
+
+    hyper_order = np.argsort(np.argsort(hyper_rank))
+    clique_order = np.argsort(np.argsort(graph_rank))
+    disagreement = float(np.mean(np.abs(hyper_order - clique_order))) / NUM_AUTHORS
+    print(
+        f"\nmean rank displacement between the two models: "
+        f"{disagreement:.1%} of the field"
+    )
+    print(
+        "the clique expansion inflates consortium co-authors; the hypergraph "
+        "keeps per-paper semantics (the paper's Figure 1 argument)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Directed hypergraphs: influence reachability in a citation network.
+
+A paper cites several earlier papers: that is one *directed hyperedge* whose
+sources are the cited papers and whose destination is the citing paper
+(knowledge flows from the cited to the citer).  Forward reachability from a
+seminal paper finds everything it (transitively) influenced; backward
+reachability finds its intellectual ancestry — two different questions an
+undirected model cannot separate.
+
+Run:  python examples/citation_reachability.py
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.algorithms.bfs import Bfs
+from repro.engine.hygra import HygraEngine
+from repro.harness.report import render_table
+from repro.hypergraph.directed import DirectedHypergraph
+from repro.hypergraph.validate import audit
+
+NUM_PAPERS = 600
+
+
+def build_citation_network(seed: int = 29) -> DirectedHypergraph:
+    """Papers arrive in id order; each cites 1-5 earlier papers."""
+    rng = random.Random(seed)
+    hyperedges = []
+    for paper in range(5, NUM_PAPERS):
+        horizon = max(0, paper - 120)  # citations favour recent work
+        pool = range(horizon, paper)
+        cited = rng.sample(list(pool), k=min(rng.randint(1, 5), paper - horizon))
+        hyperedges.append((cited, [paper]))
+    return DirectedHypergraph.from_lists(
+        hyperedges, num_vertices=NUM_PAPERS, name="citations"
+    )
+
+
+def reachable_count(distances: np.ndarray) -> int:
+    return int(np.count_nonzero(np.isfinite(distances))) - 1  # minus the seed
+
+
+def main() -> None:
+    network = build_citation_network()
+    print(f"citation network: {network}")
+
+    undirected = network.as_undirected()
+    report = audit(undirected)
+    print(
+        f"audit: mean refs/paper {report.mean_hyperedge_degree:.1f}, "
+        f"warnings: {list(report.warnings) or 'none'}\n"
+    )
+
+    engine = HygraEngine()
+    rows = []
+    for seed_paper in (0, 3, 150, 300):
+        influence = engine.run(Bfs(source=seed_paper), network.forward())
+        ancestry = engine.run(Bfs(source=seed_paper), network.backward())
+        both = engine.run(Bfs(source=seed_paper), undirected)
+        rows.append([
+            f"paper {seed_paper}",
+            reachable_count(influence.result),
+            reachable_count(ancestry.result),
+            reachable_count(both.result),
+        ])
+    print(
+        render_table(
+            ["Seed", "Influenced (fwd)", "Ancestry (bwd)", "Undirected"],
+            rows,
+            title="Reachability from selected papers",
+        )
+    )
+
+    # Early papers influence many and descend from few; late papers reverse.
+    early, late = rows[0], rows[-1]
+    print(
+        f"\npaper 0 influences {early[1]} papers but has {early[2]} ancestors; "
+        f"paper 300 influences {late[1]} and has {late[2]} — direction matters, "
+        "and the undirected projection conflates the two."
+    )
+
+
+if __name__ == "__main__":
+    main()

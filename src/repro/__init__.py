@@ -1,0 +1,54 @@
+"""ChGraph reproduction: hardware-accelerated hypergraph processing with
+chain-driven scheduling (Wang et al., HPCA 2022).
+
+Quick start::
+
+    from repro import Hypergraph, PageRank, HygraEngine, ChGraphEngine
+    from repro.hypergraph.generators import paper_dataset
+    from repro.sim import SimulatedSystem, scaled_config
+
+    hg = paper_dataset("WEB")
+    hygra = HygraEngine().run(PageRank(), hg, SimulatedSystem(scaled_config()))
+    chg = ChGraphEngine().run(PageRank(), hg, SimulatedSystem(scaled_config()))
+    print(chg.speedup_over(hygra), chg.dram_reduction_over(hygra))
+"""
+
+from repro.algorithms import (
+    Adsorption,
+    BetweennessCentrality,
+    Bfs,
+    ConnectedComponents,
+    KCore,
+    MaximalIndependentSet,
+    PageRank,
+    Sssp,
+)
+from repro.engine import (
+    ChGraphEngine,
+    GlaResources,
+    HygraEngine,
+    RunResult,
+    SoftwareGlaEngine,
+)
+from repro.hypergraph import Csr, Frontier, Hypergraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adsorption",
+    "BetweennessCentrality",
+    "Bfs",
+    "ChGraphEngine",
+    "ConnectedComponents",
+    "Csr",
+    "Frontier",
+    "GlaResources",
+    "Hypergraph",
+    "HygraEngine",
+    "KCore",
+    "MaximalIndependentSet",
+    "PageRank",
+    "RunResult",
+    "SoftwareGlaEngine",
+    "Sssp",
+]

@@ -1,0 +1,170 @@
+"""Betweenness centrality on a hypergraph (single-source Brandes).
+
+Runs Brandes' algorithm over the bipartite representation: a forward BFS
+accumulating shortest-path counts (sigma), then a backward sweep
+accumulating dependencies (delta) level by level.  Hyperedge nodes mediate
+paths but do not count as path endpoints, following the single-graph
+formulation of hypergraph betweenness (HyperBC): when dependency flows back
+from a hyperedge the ``+1`` endpoint term is omitted.
+
+The backward sweep is expressed through the same HF/VF machinery — the
+frontier simply walks the recorded BFS levels deepest-first — so every
+engine (Hygra order, chain order, ChGraph) runs the identical computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import (
+    PHASE_HYPEREDGE,
+    AlgorithmState,
+    HypergraphAlgorithm,
+)
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["BetweennessCentrality"]
+
+_FORWARD = "forward"
+_BACKWARD = "backward"
+
+
+class BetweennessCentrality(HypergraphAlgorithm):
+    """Single-source betweenness contributions for every vertex."""
+
+    name = "BC"
+    apply_cost_factor = 1.5
+    max_iterations = 10_000  # safety net; real bound is the BFS diameter
+
+    def __init__(self, source: int = 0) -> None:
+        self.source = source
+
+    # -- setup -----------------------------------------------------------------
+
+    def init_state(self, hypergraph: Hypergraph) -> AlgorithmState:
+        nv, nh = hypergraph.num_vertices, hypergraph.num_hyperedges
+        state = AlgorithmState(
+            vertex_values=np.full(nv, np.inf),  # forward: distance
+            hyperedge_values=np.full(nh, np.inf),
+            frontier_v=Frontier(nv, [self.source]),
+            frontier_e=Frontier(nh),
+        )
+        state.vertex_values[self.source] = 0.0
+        state.extras.update(
+            mode=_FORWARD,
+            sigma_v=np.zeros(nv),
+            sigma_e=np.zeros(nh),
+            delta_v=np.zeros(nv),
+            delta_e=np.zeros(nh),
+            levels=[("vertex", np.array([self.source]))],
+            backward_index=-1,
+        )
+        state.extras["sigma_v"][self.source] = 1.0
+        return state
+
+    # -- update functions --------------------------------------------------------
+
+    def apply_hf(
+        self, state: AlgorithmState, hypergraph: Hypergraph, v: int, h: int
+    ) -> bool:
+        x = state.extras
+        if x["mode"] == _FORWARD:
+            dist_v = state.vertex_values[v]
+            if state.hyperedge_values[h] == np.inf:
+                state.hyperedge_values[h] = dist_v + 1.0
+            if state.hyperedge_values[h] == dist_v + 1.0:
+                x["sigma_e"][h] += x["sigma_v"][v]
+                return True
+            return False
+        # Backward: vertex v at level L pushes dependency to hyperedge
+        # predecessors at level L-1.  v is a real endpoint: include the +1.
+        if state.hyperedge_values[h] == state.vertex_values[v] - 1.0:
+            x["delta_e"][h] += (x["sigma_e"][h] / x["sigma_v"][v]) * (
+                1.0 + x["delta_v"][v]
+            )
+        return False
+
+    def apply_vf(
+        self, state: AlgorithmState, hypergraph: Hypergraph, h: int, v: int
+    ) -> bool:
+        x = state.extras
+        if x["mode"] == _FORWARD:
+            dist_h = state.hyperedge_values[h]
+            if state.vertex_values[v] == np.inf:
+                state.vertex_values[v] = dist_h + 1.0
+            if state.vertex_values[v] == dist_h + 1.0:
+                x["sigma_v"][v] += x["sigma_e"][h]
+                return True
+            return False
+        # Backward: hyperedge h pushes dependency to vertex predecessors;
+        # h is not an endpoint, so no +1 term.
+        if state.vertex_values[v] == state.hyperedge_values[h] - 1.0:
+            x["delta_v"][v] += (x["sigma_v"][v] / x["sigma_e"][h]) * x["delta_e"][h]
+        return False
+
+    # -- level bookkeeping ----------------------------------------------------
+
+    def _backward_frontiers(
+        self, state: AlgorithmState, hypergraph: Hypergraph
+    ) -> tuple[Frontier, Frontier]:
+        """Frontiers holding the next backward level (one side non-empty)."""
+        x = state.extras
+        frontier_v = Frontier(hypergraph.num_vertices)
+        frontier_e = Frontier(hypergraph.num_hyperedges)
+        index = x["backward_index"]
+        if index <= 0:  # level 0 is the source; nothing flows above it
+            return frontier_v, frontier_e
+        side, ids = x["levels"][index]
+        target = frontier_v if side == "vertex" else frontier_e
+        for element in ids:
+            target.add(int(element))
+        return frontier_v, frontier_e
+
+    def end_phase(
+        self,
+        state: AlgorithmState,
+        hypergraph: Hypergraph,
+        phase: str,
+        activated: Frontier,
+    ) -> Frontier:
+        x = state.extras
+        if x["mode"] == _FORWARD:
+            if not activated.is_empty():
+                side = "hyperedge" if phase == PHASE_HYPEREDGE else "vertex"
+                x["levels"].append((side, activated.ids()))
+                return activated
+            # Forward exhausted after a vertex phase: pivot to backward.
+            if phase == PHASE_HYPEREDGE:
+                return activated
+            x["mode"] = _BACKWARD
+            x["backward_index"] = len(x["levels"]) - 1
+            frontier_v, frontier_e = self._backward_frontiers(state, hypergraph)
+            state.frontier_e = frontier_e
+            return frontier_v
+        # Backward mode: a vertex level is consumed by the hyperedge phase
+        # (vertices push dependency into hyperedges) and a hyperedge level by
+        # the vertex phase; descend one level only when that happened.
+        index = x["backward_index"]
+        if index > 0:
+            side = x["levels"][index][0]
+            consumed = (phase == PHASE_HYPEREDGE and side == "vertex") or (
+                phase != PHASE_HYPEREDGE and side == "hyperedge"
+            )
+            if consumed:
+                x["backward_index"] -= 1
+        frontier_v, frontier_e = self._backward_frontiers(state, hypergraph)
+        if phase == PHASE_HYPEREDGE:
+            state.frontier_v = frontier_v  # not read until next iteration
+            return frontier_e
+        state.frontier_e = frontier_e
+        return frontier_v
+
+    def finished(
+        self, state: AlgorithmState, hypergraph: Hypergraph, iteration: int
+    ) -> bool:
+        x = state.extras
+        return x["mode"] == _BACKWARD and x["backward_index"] <= 0
+
+    def result(self, state: AlgorithmState, hypergraph: Hypergraph) -> np.ndarray:
+        return state.extras["delta_v"]

@@ -1,0 +1,50 @@
+"""Connected components via min-label propagation.
+
+A hyperedge's label is the minimum over its members; a vertex's label is the
+minimum over its hyperedges.  Propagation continues until no label changes.
+Two vertices end with equal labels iff they are connected through some
+sequence of hyperedges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmState, HypergraphAlgorithm
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["ConnectedComponents"]
+
+
+class ConnectedComponents(HypergraphAlgorithm):
+    """Label-propagation connected components."""
+
+    name = "CC"
+    apply_cost_factor = 0.8
+
+    def init_state(self, hypergraph: Hypergraph) -> AlgorithmState:
+        return AlgorithmState(
+            vertex_values=np.arange(hypergraph.num_vertices, dtype=np.float64),
+            hyperedge_values=np.full(hypergraph.num_hyperedges, np.inf),
+            frontier_v=Frontier.all_active(hypergraph.num_vertices),
+            frontier_e=Frontier(hypergraph.num_hyperedges),
+        )
+
+    def apply_hf(
+        self, state: AlgorithmState, hypergraph: Hypergraph, v: int, h: int
+    ) -> bool:
+        label = state.vertex_values[v]
+        if label < state.hyperedge_values[h]:
+            state.hyperedge_values[h] = label
+            return True
+        return False
+
+    def apply_vf(
+        self, state: AlgorithmState, hypergraph: Hypergraph, h: int, v: int
+    ) -> bool:
+        label = state.hyperedge_values[h]
+        if label < state.vertex_values[v]:
+            state.vertex_values[v] = label
+            return True
+        return False

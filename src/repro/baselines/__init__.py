@@ -1,0 +1,7 @@
+"""Comparison systems: HATS-V, an event-driven prefetcher, and Ligra."""
+
+from repro.baselines.hats import HatsVEngine
+from repro.baselines.ligra import LigraEngine
+from repro.baselines.prefetcher_ev import EventPrefetcherEngine
+
+__all__ = ["EventPrefetcherEngine", "HatsVEngine", "LigraEngine"]

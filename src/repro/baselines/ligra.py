@@ -1,0 +1,34 @@
+"""Ligra-like ordinary-graph baseline (§VI-I, Fig 25).
+
+Ligra (Shun & Blelloch, PPoPP'13) is the frontier-based shared-memory graph
+framework Hygra generalises.  On a 2-uniform hypergraph (each hyperedge is
+one graph edge) its execution behaviour is exactly index-ordered frontier
+processing over the bipartite CSR — i.e. the Hygra engine — but it is a
+*graph* system, so it only accepts 2-uniform inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.hygra import HygraEngine
+from repro.errors import EngineError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["LigraEngine"]
+
+
+class LigraEngine(HygraEngine):
+    """Index-ordered frontier engine restricted to ordinary graphs."""
+
+    name = "Ligra"
+
+    def run(self, algorithm, hypergraph: Hypergraph, system=None):
+        degrees = np.diff(hypergraph.hyperedges.offsets)
+        if degrees.size and degrees.max() > 2:
+            raise EngineError(
+                "Ligra processes ordinary graphs only: every hyperedge must "
+                "have exactly two incident vertices (got degree "
+                f"{int(degrees.max())})"
+            )
+        return super().run(algorithm, hypergraph, system)

@@ -1,0 +1,19 @@
+"""ChGraph hardware models: FIFOs, HCG, CP, device interface, area."""
+
+from repro.chgraph.area import AreaReport, area_report
+from repro.chgraph.engine import ChGraphConfigRegisters, ChGraphDevice
+from repro.chgraph.fifo import BoundedFifo
+from repro.chgraph.hcg import HardwareChainGenerator, HcgCost
+from repro.chgraph.prefetcher import ChainPrefetcher, CpCost
+
+__all__ = [
+    "AreaReport",
+    "BoundedFifo",
+    "ChGraphConfigRegisters",
+    "ChGraphDevice",
+    "ChainPrefetcher",
+    "CpCost",
+    "HardwareChainGenerator",
+    "HcgCost",
+    "area_report",
+]

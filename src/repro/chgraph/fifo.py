@@ -1,0 +1,83 @@
+"""Bounded hardware FIFO model.
+
+ChGraph uses two FIFOs: the *chain FIFO* between the chain generator and the
+prefetcher (32 x 4 B) and the *bipartite edge FIFO* between the prefetcher
+and the core (32 x 24 B tuples).  The model tracks occupancy and stall
+counts so tests can assert backpressure behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import FifoError
+
+__all__ = ["BoundedFifo"]
+
+
+class BoundedFifo:
+    """A bounded FIFO with occupancy statistics."""
+
+    def __init__(self, depth: int, entry_bytes: int = 4) -> None:
+        if depth < 1:
+            raise FifoError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.entry_bytes = entry_bytes
+        self._entries: deque[Any] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.push_stalls = 0
+        self.pop_stalls = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def try_push(self, entry: Any) -> bool:
+        """Push if space; returns False (and counts a stall) when full."""
+        if self.is_full:
+            self.push_stalls += 1
+            return False
+        self._entries.append(entry)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return True
+
+    def push(self, entry: Any) -> None:
+        """Push, raising on overflow (for callers that already checked)."""
+        if not self.try_push(entry):
+            raise FifoError(f"push to full FIFO (depth={self.depth})")
+
+    def try_pop(self) -> tuple[bool, Any]:
+        """Pop if available; ``(False, None)`` (and a stall) when empty."""
+        if self.is_empty:
+            self.pop_stalls += 1
+            return False, None
+        self.pops += 1
+        return True, self._entries.popleft()
+
+    def pop(self) -> Any:
+        ok, entry = self.try_pop()
+        if not ok:
+            raise FifoError("pop from empty FIFO")
+        return entry
+
+    def peek(self) -> Any:
+        if self.is_empty:
+            raise FifoError("peek at empty FIFO")
+        return self._entries[0]
+
+    def storage_bytes(self) -> int:
+        return self.depth * self.entry_bytes
+
+    def __repr__(self) -> str:
+        return f"BoundedFifo(depth={self.depth}, occupancy={len(self)})"

@@ -1,0 +1,102 @@
+"""Hardware-accelerated chain generator (HCG) cost model (§V-B).
+
+The HCG is a 4-stage pipeline — *root setting*, *offsets fetching*, *active
+neighbors fetching*, *neighbor selection* — backed by a 16-deep stack.  The
+chain semantics are exactly :class:`~repro.core.chain.ChainGenerator` (the
+stack depth is the ``D_max`` bound); this module adds the hardware cost
+accounting: one pipeline beat per micro-step, engine-side memory requests
+for the bitmap and OAG arrays, and serial (dependency-chained) latency for
+the OAG walk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.chain import ChainGenerator, ChainProbe, ChainSet
+from repro.core.oag import Oag
+from repro.sim.config import SystemConfig
+from repro.sim.layout import ArrayId
+
+__all__ = ["HcgCost", "HardwareChainGenerator"]
+
+
+@dataclasses.dataclass
+class HcgCost:
+    """Cycle/traffic accounting of one HCG activation."""
+
+    beats: int = 0  # pipeline micro-steps (1 element or inspection each)
+    serial_latency: float = 0.0  # dependency-chained OAG/bitmap access time
+    requests: int = 0  # engine-side memory requests issued
+
+    def engine_cycles(self, stage_cycles: float) -> float:
+        """Busy time of the HCG for this activation, in core cycles."""
+        return self.beats * stage_cycles + self.serial_latency
+
+
+class _HcgProbe(ChainProbe):
+    """Counts pipeline beats and issues engine-side accesses."""
+
+    def __init__(
+        self,
+        access: "callable[[int, ArrayId, int], int]",
+        core: int,
+        cost: HcgCost,
+        edge_base: int,
+        dense: bool,
+    ) -> None:
+        self.access = access
+        self.core = core
+        self.cost = cost
+        self.edge_base = edge_base
+        self.dense = dense
+
+    def _load(self, array: ArrayId, index: int) -> None:
+        self.cost.requests += 1
+        self.cost.serial_latency += self.access(self.core, array, index)
+
+    def on_root_scan(self, element: int) -> None:
+        self.cost.beats += 1
+        if not self.dense:
+            self._load(ArrayId.BITMAP, element)
+
+    def on_offsets_fetch(self, node: int) -> None:
+        self.cost.beats += 1
+        self._load(ArrayId.OAG_OFFSET, node)
+        self._load(ArrayId.OAG_OFFSET, node + 1)
+
+    def on_neighbor_inspect(self, node: int, position: int) -> None:
+        self.cost.beats += 1
+        self._load(ArrayId.OAG_EDGE, self.edge_base + position)
+
+    def on_select(self, element: int) -> None:
+        self.cost.beats += 1
+
+
+class HardwareChainGenerator:
+    """Per-core HCG: generates chains and reports hardware cost."""
+
+    def __init__(self, config: SystemConfig, d_max: int) -> None:
+        # The stack bounds the exploration depth; D_max cannot exceed it.
+        self.config = config
+        self.d_max = min(d_max, config.stack_depth)
+        self._generator = ChainGenerator(d_max=self.d_max)
+
+    def generate(
+        self,
+        active,
+        oag: Oag,
+        core: int,
+        access,
+        edge_base: int = 0,
+        dense: bool = False,
+    ) -> tuple[ChainSet, HcgCost]:
+        """Generate chains for one chunk with engine-side accesses.
+
+        ``access(core, array, index) -> latency`` is the engine's path into
+        the memory hierarchy (normally ``MemoryHierarchy.engine_access``).
+        """
+        cost = HcgCost()
+        probe = _HcgProbe(access, core, cost, edge_base, dense)
+        chains = self._generator.generate(active, oag, probe=probe)
+        return chains, cost

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print Table II for the built-in datasets.
+``run``
+    Simulate one (engine, algorithm, dataset) and print the result summary.
+``compare``
+    Run Hygra, software GLA and ChGraph on one workload side by side.
+``experiment``
+    Regenerate one paper table/figure by id (e.g. ``fig14``, ``table2``).
+``area``
+    Print the §VI-E area/power accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.harness import experiments as registry
+from repro.harness.report import render_table
+from repro.harness.runner import Runner
+from repro.hypergraph.generators import PAPER_DATASETS
+from repro.sim.config import scaled_config
+
+__all__ = ["main", "build_parser"]
+
+ENGINES = (
+    "Hygra", "GLA", "ChGraph", "ChGraph-HCGonly", "ChGraph-CPonly",
+    "HATS-V", "EventPrefetcher", "Ligra",
+)
+ALGORITHMS = ("BFS", "PR", "MIS", "BC", "CC", "k-core", "SSSP", "Adsorption")
+
+#: Experiment ids resolvable by the ``experiment`` command.
+EXPERIMENTS = {
+    "table1": lambda runner: registry.table1_rows(),
+    "table2": registry.table2_rows,
+    "fig02": registry.fig02_memory_accesses,
+    "fig03": registry.fig03_performance,
+    "fig05": registry.fig05_memory_stalls,
+    "fig07": registry.fig07_hats_v,
+    "fig08": registry.fig08_overlap,
+    "fig14": registry.fig14_performance,
+    "fig15": registry.fig15_breakdown,
+    "fig16": registry.fig16_hw_breakdown,
+    "fig17": registry.fig17_dmax_sweep,
+    "fig18": registry.fig18_wmin_sweep,
+    "fig19": registry.fig19_llc_sweep,
+    "fig20": registry.fig20_core_scaling,
+    "fig21": registry.fig21_preprocessing,
+    "fig22": registry.fig22_total_time,
+    "fig23": registry.fig23_prefetcher,
+    "fig24": registry.fig24_reordering,
+    "fig25": registry.fig25_graph_apps,
+    "vi_e": lambda runner: registry.vi_e_area_power(),
+    "summary": registry.headline_summary,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChGraph (HPCA 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print Table II for the built-in datasets")
+    sub.add_parser("area", help="print the §VI-E area/power accounting")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--algorithm", default="PR", choices=ALGORITHMS, help="application"
+        )
+        p.add_argument(
+            "--dataset",
+            default="WEB",
+            choices=(*PAPER_DATASETS, "AZ", "PK"),
+            help="built-in dataset key",
+        )
+        p.add_argument("--cores", type=int, default=16, help="simulated cores")
+        p.add_argument("--llc-kb", type=int, default=4, help="shared LLC size")
+        p.add_argument(
+            "--pr-iterations", type=int, default=2,
+            help="iterations for PR/Adsorption",
+        )
+
+    run = sub.add_parser("run", help="simulate one engine on one workload")
+    run.add_argument("--engine", default="ChGraph", choices=ENGINES)
+    add_workload_args(run)
+
+    compare = sub.add_parser(
+        "compare", help="Hygra vs software GLA vs ChGraph on one workload"
+    )
+    add_workload_args(compare)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    return parser
+
+
+def _runner_and_config(args: argparse.Namespace):
+    runner = Runner(pr_iterations=args.pr_iterations)
+    config = scaled_config(num_cores=args.cores, llc_kb=args.llc_kb)
+    return runner, config
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    title, headers, rows = registry.table2_rows(Runner())
+    print(render_table(headers, rows, title=title))
+    return 0
+
+
+def _cmd_area(_: argparse.Namespace) -> int:
+    title, headers, rows = registry.vi_e_area_power()
+    print(render_table(headers, rows, title=title))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner, config = _runner_and_config(args)
+    result = runner.run(args.engine, args.algorithm, args.dataset, config)
+    rows = [
+        ["engine", result.engine],
+        ["algorithm", result.algorithm],
+        ["dataset", result.dataset],
+        ["iterations", result.iterations],
+        ["cycles", result.cycles],
+        ["DRAM accesses", result.dram_accesses],
+        ["memory-stall fraction", result.memory_stall_fraction],
+        *[
+            [f"DRAM: {group}", count]
+            for group, count in result.dram_by_group.items()
+        ],
+    ]
+    print(render_table(["Quantity", "Value"], rows, title="Run summary"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    runner, config = _runner_and_config(args)
+    baseline = runner.run("Hygra", args.algorithm, args.dataset, config)
+    rows = []
+    for engine in ("Hygra", "GLA", "ChGraph"):
+        result = runner.run(engine, args.algorithm, args.dataset, config)
+        rows.append([
+            engine,
+            result.cycles,
+            result.dram_accesses,
+            result.speedup_over(baseline),
+            result.dram_reduction_over(baseline),
+        ])
+    print(
+        render_table(
+            ["System", "Cycles", "DRAM", "Speedup", "DRAM reduction"],
+            rows,
+            title=f"{args.algorithm} on {args.dataset} "
+                  f"({config.num_cores} cores, {args.llc_kb}KB LLC)",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    title, headers, rows = EXPERIMENTS[args.id](Runner())
+    print(render_table(headers, rows, title=title))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "area": _cmd_area,
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

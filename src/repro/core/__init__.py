@@ -1,0 +1,15 @@
+"""The paper's contribution: OAG, chains, and the GLA execution model."""
+
+from repro.core.chain import ChainGenerator, ChainSet
+from repro.core.metrics import ChainQuality, chain_quality, schedule_affinity
+from repro.core.oag import Oag, build_oag
+
+__all__ = [
+    "ChainGenerator",
+    "ChainQuality",
+    "ChainSet",
+    "Oag",
+    "build_oag",
+    "chain_quality",
+    "schedule_affinity",
+]

@@ -1,0 +1,171 @@
+"""Chain generation (Definition 2, Algorithm 3, and the HCG pipeline order).
+
+A chain is a sequence of OAG nodes produced by a greedy maximally-overlapped
+walk: starting from the lowest-indexed active element, repeatedly step to the
+unvisited *active* neighbor with the highest overlap weight (the OAG rows are
+pre-sorted descending, so "pick the first eligible" is weight-maximal), until
+no eligible neighbor remains or the exploration depth reaches ``D_max``
+(default 16 — the paper's sweet spot, equal to the hardware stack depth).
+
+Elements that are active but have no OAG presence (isolated nodes, or nodes
+whose overlaps were pruned by ``W_min``) become singleton chains in index
+order, which is the paper's correctness argument for pruning: "the data that
+miss the overlapping information will be safely scheduled in order of their
+indices".
+
+Every active element appears in exactly one chain exactly once; inactive
+elements never appear.  Tests enforce this invariant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.oag import Oag
+
+__all__ = ["ChainSet", "ChainGenerator", "ChainProbe", "DEFAULT_D_MAX"]
+
+#: §IV-B: "we set D_max to 16 by default".
+DEFAULT_D_MAX = 16
+
+
+class ChainProbe:
+    """Instrumentation hooks invoked once per micro-step of generation.
+
+    Execution engines subclass this to charge memory accesses / cycles for
+    each hardware pipeline stage (root setting, offsets fetching, neighbor
+    fetching, neighbor selection) without duplicating the algorithm.
+    """
+
+    def on_root_scan(self, element: int) -> None:
+        """Bitmap probe while hunting for the next active root."""
+
+    def on_offsets_fetch(self, node: int) -> None:
+        """OAG_offset read for the node on top of the stack."""
+
+    def on_neighbor_inspect(self, node: int, position: int) -> None:
+        """OAG_edge/OAG_weight read at CSR position ``position``."""
+
+    def on_select(self, element: int) -> None:
+        """An element enters the chain (pushed to stack + chain FIFO).
+
+        ``element`` is the *global* hypergraph id, like all probe hooks.
+        """
+
+
+@dataclasses.dataclass
+class ChainSet:
+    """The chains generated for one chunk in one phase, plus cost counters."""
+
+    chains: list[list[int]]
+    root_scans: int = 0
+    offsets_fetches: int = 0
+    neighbor_inspections: int = 0
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chains)
+
+    @property
+    def num_elements(self) -> int:
+        return sum(len(chain) for chain in self.chains)
+
+    @property
+    def mean_length(self) -> float:
+        return self.num_elements / self.num_chains if self.chains else 0.0
+
+    def order(self) -> Iterator[int]:
+        """The flattened scheduling order."""
+        for chain in self.chains:
+            yield from chain
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.chains)
+
+
+class ChainGenerator:
+    """Greedy maximal-overlap chain generation over a (chunk) OAG."""
+
+    def __init__(self, d_max: int = DEFAULT_D_MAX) -> None:
+        if d_max < 1:
+            raise ValueError("d_max must be >= 1")
+        self.d_max = d_max
+
+    def generate(
+        self,
+        active: np.ndarray,
+        oag: Oag,
+        probe: ChainProbe | None = None,
+    ) -> ChainSet:
+        """Generate chains for the active elements of one chunk.
+
+        ``active`` is a boolean bitmap over the chunk's elements (local index
+        0 is hypergraph element ``oag.first_id``).  The bitmap is not
+        mutated.  Chain entries are *global* element ids.
+        """
+        if active.size != oag.num_nodes:
+            raise ValueError(
+                f"active bitmap size {active.size} != OAG nodes {oag.num_nodes}"
+            )
+        if probe is None:
+            probe = ChainProbe()
+        remaining = active.copy()
+        result = ChainSet(chains=[])
+        offsets = oag.csr.offsets
+        edges = oag.csr.indices
+        first_id = oag.first_id
+
+        for root in range(active.size):
+            # Root-setting stage: scan the bitmap for the minimal active id.
+            result.root_scans += 1
+            probe.on_root_scan(first_id + root)
+            if not remaining[root]:
+                continue
+            chain = self._explore(
+                root, remaining, offsets, edges, probe, result, first_id
+            )
+            result.chains.append([first_id + node for node in chain])
+        return result
+
+    def _explore(
+        self,
+        root: int,
+        remaining: np.ndarray,
+        offsets: np.ndarray,
+        edges: np.ndarray,
+        probe: ChainProbe,
+        result: ChainSet,
+        first_id: int,
+    ) -> list[int]:
+        """One greedy walk: the chain rooted at ``root`` (local node ids)."""
+        chain = [root]
+        remaining[root] = False
+        probe.on_select(first_id + root)
+        current = root
+        depth = 0
+        while depth < self.d_max - 1:
+            # Offsets-fetching stage.
+            result.offsets_fetches += 1
+            probe.on_offsets_fetch(current)
+            start, end = int(offsets[current]), int(offsets[current + 1])
+            # Neighbor fetching + selection: the row is weight-descending, so
+            # the first unvisited active neighbor is the maximal-weight one.
+            successor = -1
+            for position in range(start, end):
+                result.neighbor_inspections += 1
+                probe.on_neighbor_inspect(current, position)
+                candidate = int(edges[position])
+                if remaining[candidate]:
+                    successor = candidate
+                    break
+            if successor < 0:
+                break
+            remaining[successor] = False
+            chain.append(successor)
+            probe.on_select(first_id + successor)
+            current = successor
+            depth += 1
+        return chain

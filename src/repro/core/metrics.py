@@ -1,0 +1,94 @@
+"""Chain-quality metrics.
+
+Quantifies how good a generated schedule is, independent of the cache
+simulator:
+
+* **overlap capture** — of all the overlap weight available in the OAG, how
+  much lies on *adjacent* chain pairs (the only overlaps a chain actually
+  turns into reuse);
+* **length distribution** — fragmentation (singleton chains schedule in
+  index order and recover nothing);
+* **schedule affinity** — mean shared-neighbor count between consecutive
+  scheduled elements, measured on the hypergraph itself (works even for
+  schedules that never saw an OAG, e.g. HATS's BDFS order).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.core.chain import ChainSet
+from repro.core.oag import Oag
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["ChainQuality", "chain_quality", "schedule_affinity"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChainQuality:
+    """Summary of one :class:`ChainSet` against its OAG."""
+
+    num_chains: int
+    num_elements: int
+    singleton_fraction: float
+    mean_length: float
+    max_length: int
+    captured_weight: int
+    available_weight: int
+
+    @property
+    def capture_ratio(self) -> float:
+        """Adjacent-pair weight over all (undirected) OAG weight."""
+        if self.available_weight == 0:
+            return 0.0
+        return self.captured_weight / self.available_weight
+
+
+def chain_quality(chains: ChainSet, oag: Oag) -> ChainQuality:
+    """Score a chunk's chains against its OAG."""
+    weights: dict[tuple[int, int], int] = {}
+    for node in range(oag.num_nodes):
+        for neighbor, weight in zip(oag.neighbors(node), oag.weights(node)):
+            if node < int(neighbor):
+                weights[(node, int(neighbor))] = int(weight)
+    available = sum(weights.values())
+
+    captured = 0
+    lengths = []
+    for chain in chains:
+        lengths.append(len(chain))
+        for a, b in zip(chain, chain[1:]):
+            local_a, local_b = a - oag.first_id, b - oag.first_id
+            key = (min(local_a, local_b), max(local_a, local_b))
+            captured += weights.get(key, 0)
+
+    num_chains = len(lengths)
+    singletons = sum(1 for length in lengths if length == 1)
+    return ChainQuality(
+        num_chains=num_chains,
+        num_elements=sum(lengths),
+        singleton_fraction=singletons / num_chains if num_chains else 0.0,
+        mean_length=sum(lengths) / num_chains if num_chains else 0.0,
+        max_length=max(lengths, default=0),
+        captured_weight=captured,
+        available_weight=available,
+    )
+
+
+def schedule_affinity(
+    hypergraph: Hypergraph, order: Sequence[int], side: str = "hyperedge"
+) -> float:
+    """Mean |N(a) ∩ N(b)| over consecutive scheduled pairs.
+
+    Measured on the hypergraph's true incidence (not the pruned OAG), so any
+    scheduling policy — index order, BDFS, chains — is comparable.
+    """
+    if len(order) < 2:
+        return 0.0
+    csr = hypergraph.side(side)
+    total = 0
+    for a, b in zip(order, order[1:]):
+        members = set(map(int, csr.neighbors(a)))
+        total += sum(1 for n in csr.neighbors(b) if int(n) in members)
+    return total / (len(order) - 1)

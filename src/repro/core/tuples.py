@@ -1,0 +1,63 @@
+"""Chain-guided data loading: the bipartite-edge tuple (§IV-B).
+
+Each in-flight unit of work is the tuple
+``{src_id, dst_id, src_value, dst_value}`` — for vertex computation,
+``{h_id, v_id, hyperedge_value[h], vertex_value[v]}``.  The tuple acts as a
+one-entry register: while loading the bipartite edges of one chain element,
+the element id and its value stay resident, so only the neighbor-side fields
+are (re)loaded per edge.  :class:`TupleLoader` exposes exactly that reuse
+structure so engines charge one source-value load per element rather than
+per edge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["BipartiteTuple", "TupleLoader", "END_OF_CHAINS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BipartiteTuple:
+    """One unit of Apply work.
+
+    ``src`` is the scheduled chain element (a hyperedge during vertex
+    computation), ``dst`` its incident neighbor.  ``fresh_src`` is True for
+    the first edge of an element — the only edge that had to load the
+    source-side fields.
+    """
+
+    src: int
+    dst: int
+    fresh_src: bool
+
+
+#: The sentinel the prefetcher enqueues after the last tuple ("a fake tuple
+#: {-1, -1, -1, -1}"), telling the core the phase's work is exhausted.
+END_OF_CHAINS = BipartiteTuple(src=-1, dst=-1, fresh_src=False)
+
+
+class TupleLoader:
+    """Streams the bipartite edges of scheduled elements in tuple form."""
+
+    def __init__(self, hypergraph: Hypergraph, side: str) -> None:
+        # ``side`` is the side being *scheduled*: "hyperedge" means active
+        # hyperedges stream their incident vertices (vertex computation).
+        self.csr = hypergraph.side(side)
+        self.side = side
+
+    def edges_of(self, element: int) -> Iterator[BipartiteTuple]:
+        """Tuples for one element; the first is marked ``fresh_src``."""
+        fresh = True
+        for neighbor in self.csr.neighbors(element):
+            yield BipartiteTuple(src=element, dst=int(neighbor), fresh_src=fresh)
+            fresh = False
+
+    def chain_tuples(self, order: Iterator[int]) -> Iterator[BipartiteTuple]:
+        """Tuples for a whole scheduling order, then :data:`END_OF_CHAINS`."""
+        for element in order:
+            yield from self.edges_of(element)
+        yield END_OF_CHAINS

@@ -1,0 +1,23 @@
+"""Execution engines: Hygra baseline, software GLA, and ChGraph."""
+
+from repro.engine.base import ExecutionEngine, PhaseSpec, PHASE_SPECS
+from repro.engine.chgraph_engine import ChGraphEngine
+from repro.engine.gla_soft import SoftwareGlaEngine
+from repro.engine.hygra import HygraEngine
+from repro.engine.interleaved import InterleavedHygraEngine
+from repro.engine.pull import PullHygraEngine
+from repro.engine.resources import GlaResources
+from repro.engine.result import RunResult
+
+__all__ = [
+    "PHASE_SPECS",
+    "ChGraphEngine",
+    "ExecutionEngine",
+    "GlaResources",
+    "HygraEngine",
+    "InterleavedHygraEngine",
+    "PullHygraEngine",
+    "PhaseSpec",
+    "RunResult",
+    "SoftwareGlaEngine",
+]

@@ -1,0 +1,210 @@
+"""Shared engine scaffolding: the Algorithm 1 / Algorithm 2 iteration loop.
+
+Every engine runs the same synchronous loop — hyperedge computation (active
+vertices push HF) then vertex computation (active hyperedges push VF), with
+a barrier after each phase — and differs only in how a phase schedules and
+charges its work.  Subclasses implement :meth:`_run_phase`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from repro.algorithms.base import (
+    PHASE_HYPEREDGE,
+    PHASE_VERTEX,
+    AlgorithmState,
+    HypergraphAlgorithm,
+)
+from repro.engine.result import RunResult
+from repro.errors import EngineError
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import Chunk, contiguous_chunks
+from repro.sim.layout import ArrayId
+from repro.sim.null import NullSystem
+
+__all__ = ["ExecutionEngine", "PhaseSpec", "PHASE_SPECS"]
+
+#: Hard cap on engine iterations, guarding against a non-terminating
+#: algorithm implementation (each paper workload converges well below this).
+MAX_ENGINE_ITERATIONS = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSpec:
+    """Which arrays a phase touches.
+
+    During *hyperedge computation* the scheduled (source) side is vertices:
+    the engine walks ``vertex_offset`` / ``incident_hyperedge`` and updates
+    ``hyperedge_value``.  Vertex computation is the mirror image.
+    """
+
+    phase: str
+    src_side: str  # CSR side scheduled: "vertex" or "hyperedge"
+    src_offset: ArrayId
+    src_value: ArrayId
+    incident: ArrayId
+    dst_offset: ArrayId
+    dst_value: ArrayId
+
+
+PHASE_SPECS: dict[str, PhaseSpec] = {
+    PHASE_HYPEREDGE: PhaseSpec(
+        phase=PHASE_HYPEREDGE,
+        src_side="vertex",
+        src_offset=ArrayId.VERTEX_OFFSET,
+        src_value=ArrayId.VERTEX_VALUE,
+        incident=ArrayId.INCIDENT_HYPEREDGE,
+        dst_offset=ArrayId.HYPEREDGE_OFFSET,
+        dst_value=ArrayId.HYPEREDGE_VALUE,
+    ),
+    PHASE_VERTEX: PhaseSpec(
+        phase=PHASE_VERTEX,
+        src_side="hyperedge",
+        src_offset=ArrayId.HYPEREDGE_OFFSET,
+        src_value=ArrayId.HYPEREDGE_VALUE,
+        incident=ArrayId.INCIDENT_VERTEX,
+        dst_offset=ArrayId.VERTEX_OFFSET,
+        dst_value=ArrayId.VERTEX_VALUE,
+    ),
+}
+
+
+class ExecutionEngine(abc.ABC):
+    """Base class for Hygra, software GLA, ChGraph and the other baselines."""
+
+    name: str = "base"
+
+    def run(
+        self,
+        algorithm: HypergraphAlgorithm,
+        hypergraph: Hypergraph,
+        system: object | None = None,
+    ) -> RunResult:
+        """Execute ``algorithm`` to convergence on ``hypergraph``.
+
+        ``system`` is a :class:`~repro.sim.system.SimulatedSystem` (full
+        cache/timing simulation) or ``None`` for a pure semantic run.
+        """
+        if system is None:
+            system = NullSystem()
+        num_cores = system.config.num_cores
+        chunks = {
+            # Chunks of the *source* side each phase schedules.
+            PHASE_HYPEREDGE: contiguous_chunks(hypergraph.num_vertices, num_cores),
+            PHASE_VERTEX: contiguous_chunks(hypergraph.num_hyperedges, num_cores),
+        }
+        self._prepare(hypergraph, system, chunks)
+
+        state = algorithm.init_state(hypergraph)
+        iteration = 0
+        while True:
+            algorithm.begin_iteration(state, hypergraph, iteration)
+
+            algorithm.begin_phase(state, hypergraph, PHASE_HYPEREDGE)
+            activated = Frontier(hypergraph.num_hyperedges)
+            self._run_phase(
+                system,
+                hypergraph,
+                algorithm,
+                state,
+                PHASE_SPECS[PHASE_HYPEREDGE],
+                state.frontier_v,
+                chunks[PHASE_HYPEREDGE],
+                activated,
+            )
+            state.frontier_e = algorithm.end_phase(
+                state, hypergraph, PHASE_HYPEREDGE, activated
+            )
+            system.barrier()
+
+            algorithm.begin_phase(state, hypergraph, PHASE_VERTEX)
+            activated = Frontier(hypergraph.num_vertices)
+            self._run_phase(
+                system,
+                hypergraph,
+                algorithm,
+                state,
+                PHASE_SPECS[PHASE_VERTEX],
+                state.frontier_e,
+                chunks[PHASE_VERTEX],
+                activated,
+            )
+            state.frontier_v = algorithm.end_phase(
+                state, hypergraph, PHASE_VERTEX, activated
+            )
+            system.barrier()
+
+            if algorithm.finished(state, hypergraph, iteration):
+                break
+            iteration += 1
+            if (
+                algorithm.max_iterations is not None
+                and iteration >= algorithm.max_iterations
+            ):
+                break
+            if iteration >= MAX_ENGINE_ITERATIONS:
+                raise EngineError(
+                    f"{algorithm.name} exceeded {MAX_ENGINE_ITERATIONS} iterations"
+                )
+
+        return self._build_result(algorithm, hypergraph, system, state, iteration + 1)
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _prepare(
+        self,
+        hypergraph: Hypergraph,
+        system: object,
+        chunks: dict[str, list[Chunk]],
+    ) -> None:
+        """Per-run setup (GLA engines attach per-chunk OAGs here)."""
+
+    @abc.abstractmethod
+    def _run_phase(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        frontier: Frontier,
+        chunks: list[Chunk],
+        activated: Frontier,
+    ) -> None:
+        """Process one phase: visit active elements, apply updates, charge."""
+
+    # -- result assembly -------------------------------------------------------
+
+    def _chain_stats(self) -> dict[str, float]:
+        """Chain statistics accumulated during the run (GLA engines)."""
+        return {}
+
+    def _build_result(
+        self,
+        algorithm: HypergraphAlgorithm,
+        hypergraph: Hypergraph,
+        system: object,
+        state: AlgorithmState,
+        iterations: int,
+    ) -> RunResult:
+        breakdown = getattr(system, "breakdown", None)
+        return RunResult(
+            engine=self.name,
+            algorithm=algorithm.name,
+            dataset=hypergraph.name,
+            result=algorithm.result(state, hypergraph).copy(),
+            vertex_values=state.vertex_values.copy(),
+            hyperedge_values=state.hyperedge_values.copy(),
+            iterations=iterations,
+            cycles=getattr(system, "total_cycles", 0.0),
+            compute_cycles=breakdown.compute_cycles if breakdown else 0.0,
+            memory_stall_cycles=(
+                breakdown.memory_stall_cycles if breakdown else 0.0
+            ),
+            dram_accesses=system.dram_accesses(),
+            dram_by_array=system.dram_breakdown(),
+            chain_stats=self._chain_stats(),
+        )

@@ -1,0 +1,283 @@
+"""The ChGraph execution engine: hardware-accelerated GLA (§V).
+
+Per chunk and phase, the decoupled engine beside the core does the Generate
+and Load work — the HCG walks the chunk's OAG to emit the chain order, the
+CP prefetches each element's bipartite edges into the L2 — while the core
+only pops tuples and runs Apply.  The engine's busy time (whichever of HCG
+or CP dominates, plus a DRAM-bandwidth floor) overlaps the core's compute
+through the phase timer's ``max(core, engine)`` rule.
+
+The CP's run-ahead is bounded by the 32-deep FIFOs, so the model interleaves
+prefetch and apply element-by-element: lines are consumed while still hot.
+
+Ablation switches reproduce Figure 16: ``use_hcg=False`` generates chains in
+software (charged to the core), ``use_cp=False`` leaves the loads on the
+core's demand path.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AlgorithmState, HypergraphAlgorithm
+from repro.chgraph.hcg import HardwareChainGenerator
+from repro.chgraph.prefetcher import ChainPrefetcher, CpCost
+from repro.core.chain import ChainGenerator
+from repro.engine.base import ExecutionEngine, PhaseSpec
+from repro.engine.gla_soft import _SoftwareChainProbe
+from repro.engine.resources import GlaResources
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import Chunk
+from repro.sim.layout import ArrayId
+
+__all__ = ["ChGraphEngine"]
+
+
+class ChGraphEngine(ExecutionEngine):
+    """Hardware-accelerated chain-driven hypergraph processing."""
+
+    name = "ChGraph"
+
+    def __init__(
+        self,
+        resources: GlaResources | None = None,
+        use_hcg: bool = True,
+        use_cp: bool = True,
+        cache_dense_chains: bool = True,
+    ) -> None:
+        self.resources = resources
+        self.use_hcg = use_hcg
+        self.use_cp = use_cp
+        # §VI-B optimization: dense (all-active) algorithms produce the same
+        # chains every iteration, so they are generated once.  Disable to
+        # measure that optimization's worth (ablation bench).
+        self.cache_dense_chains = cache_dense_chains
+        if not use_hcg and use_cp:
+            self.name = "ChGraph-CPonly"
+        elif use_hcg and not use_cp:
+            self.name = "ChGraph-HCGonly"
+        self._stats: dict[str, float] = {}
+        self._dense_chain_cache: dict[str, list[list[int]]] = {}
+
+    # -- setup ------------------------------------------------------------------
+
+    def _prepare(
+        self,
+        hypergraph: Hypergraph,
+        system: object,
+        chunks: dict[str, list[Chunk]],
+    ) -> None:
+        if self.resources is None or self.resources.num_cores != (
+            system.config.num_cores
+        ):
+            self.resources = GlaResources.build(hypergraph, system.config.num_cores)
+        config = system.config
+        self._hcg = HardwareChainGenerator(config, d_max=self.resources.d_max)
+        self._cp = ChainPrefetcher(config)
+        self._sw_generator = ChainGenerator(d_max=self.resources.d_max)
+        self._stats = {
+            "chains": 0.0,
+            "elements": 0.0,
+            "inspections": 0.0,
+            "generations": 0.0,
+        }
+        self._dense_chain_cache = {}
+        hierarchy = getattr(system, "hierarchy", None)
+        if hierarchy is not None:
+            self._engine_access = hierarchy.engine_access
+            self._dram_counter = hierarchy.dram
+        else:
+            self._engine_access = lambda core, array, index: 0
+            self._dram_counter = None
+
+    def _chain_stats(self) -> dict[str, float]:
+        return dict(self._stats)
+
+    # -- phase execution -----------------------------------------------------
+
+    def _run_phase(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        frontier: Frontier,
+        chunks: list[Chunk],
+        activated: Frontier,
+    ) -> None:
+        config = system.config
+        dense = algorithm.dense_frontier
+        oags = self.resources.oags_for(spec.src_side)
+        bases = self.resources.edge_position_bases(spec.src_side)
+        cached_orders = (
+            self._dense_chain_cache.get(spec.phase)
+            if dense and self.cache_dense_chains
+            else None
+        )
+        new_orders: list[list[int]] = []
+
+        for chunk_index, chunk in enumerate(chunks):
+            core = chunk.core
+            dram_before = (
+                self._dram_counter.accesses if self._dram_counter else 0
+            )
+            engine_cycles = 0.0
+
+            # -- Generate ------------------------------------------------------
+            if cached_orders is not None:
+                order = cached_orders[chunk_index]
+            else:
+                order, gen_cycles, on_core = self._generate_chunk(
+                    system, frontier, chunk, oags[chunk_index], bases[chunk_index],
+                    dense, core,
+                )
+                if on_core:
+                    system.charge_compute(core, gen_cycles)
+                else:
+                    engine_cycles += gen_cycles
+                new_orders.append(order)
+
+            # -- Load + Apply, interleaved per element -------------------------
+            cp_cost = CpCost()
+            self._process_chunk(
+                system, hypergraph, algorithm, state, spec, core, order,
+                activated, cp_cost,
+            )
+            if self.use_cp:
+                engine_cycles += cp_cost.engine_cycles(
+                    config.hw_stage_cycles, config.engine_mlp
+                )
+
+            # The engine cannot outrun its share of DRAM bandwidth.
+            if self._dram_counter is not None:
+                lines = self._dram_counter.accesses - dram_before
+                floor = lines / (
+                    self._dram_counter.peak_lines_per_cycle / config.num_cores
+                )
+                engine_cycles = max(engine_cycles, floor)
+            system.charge_engine(core, engine_cycles)
+
+        if (
+            cached_orders is None
+            and dense
+            and self.cache_dense_chains
+            and not frontier.is_empty()
+        ):
+            self._dense_chain_cache[spec.phase] = new_orders
+
+    def _generate_chunk(
+        self,
+        system: object,
+        frontier: Frontier,
+        chunk: Chunk,
+        oag,
+        edge_base: int,
+        dense: bool,
+        core: int,
+    ) -> tuple[list[int], float, bool]:
+        """Generate one chunk's chain order.
+
+        Returns ``(order, cycles, charged_on_core)``: with the HCG the cost
+        is engine-side; the ``use_hcg=False`` ablation runs Algorithm 3 in
+        software on the core instead.
+        """
+        active = frontier.bitmap[chunk.first : chunk.last]
+        if self.use_hcg:
+            chains, cost = self._hcg.generate(
+                active, oag, core, self._engine_access, edge_base, dense
+            )
+            cycles = cost.engine_cycles(system.config.hw_stage_cycles)
+            on_core = False
+        else:
+            probe = _SoftwareChainProbe(system, core, dense, edge_base, oag=oag)
+            chains = self._sw_generator.generate(active, oag, probe=probe)
+            cycles = 0.0  # the probe charged the core directly
+            on_core = True
+        self._stats["generations"] += 1
+        self._stats["chains"] += chains.num_chains
+        self._stats["elements"] += chains.num_elements
+        self._stats["inspections"] += chains.neighbor_inspections
+        return list(chains.order()), cycles, on_core
+
+    def _process_chunk(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        core: int,
+        order: list[int],
+        activated: Frontier,
+        cp_cost: CpCost,
+    ) -> None:
+        """Interleaved CP prefetch + core Apply for one chunk."""
+        config = system.config
+        csr = hypergraph.side(spec.src_side)
+        offsets = csr.offsets
+        indices = csr.indices
+        apply_fn = (
+            algorithm.apply_hf if spec.phase == "hyperedge" else algorithm.apply_vf
+        )
+        dense = algorithm.dense_frontier
+        dst_degree = algorithm.reads_dst_degree
+        per_tuple_core = (
+            config.apply_cycles * algorithm.apply_cost_factor
+            + config.fifo_pop_cycles
+        )
+        read = system.read
+        write = system.write
+        charge = system.charge_compute
+        activated_bitmap = activated.bitmap
+
+        engine_access = self._engine_access
+        for element in order:
+            if self.use_cp:
+                # CP stages run tuple-by-tuple, a bounded FIFO ahead of the
+                # core, so each prefetched line is consumed (and written)
+                # while still resident — model that by interleaving the CP
+                # loads with the core's Apply at edge granularity.
+                cp_cost.beats += 1  # element acquisition
+                cp_cost.requests += 3
+                cp_cost.overlapped_latency += engine_access(
+                    core, spec.src_offset, element
+                )
+                cp_cost.overlapped_latency += engine_access(
+                    core, spec.src_offset, element + 1
+                )
+                cp_cost.overlapped_latency += engine_access(
+                    core, spec.src_value, element
+                )
+            else:
+                # Ablation: loads stay on the core's demand path.
+                read(core, spec.src_offset, element)
+                read(core, spec.src_offset, element + 1)
+                read(core, spec.src_value, element)
+            start, end = int(offsets[element]), int(offsets[element + 1])
+            for position in range(start, end):
+                dst = int(indices[position])
+                if self.use_cp:
+                    cp_cost.beats += 1
+                    cp_cost.tuples += 1
+                    cp_cost.requests += 2
+                    cp_cost.overlapped_latency += engine_access(
+                        core, spec.incident, position
+                    )
+                    cp_cost.overlapped_latency += engine_access(
+                        core, spec.dst_value, dst
+                    )
+                else:
+                    read(core, spec.incident, position)
+                    read(core, spec.dst_value, dst)
+                if dst_degree:
+                    read(core, spec.dst_offset, dst)
+                    read(core, spec.dst_offset, dst + 1)
+                modified = apply_fn(state, hypergraph, element, dst)
+                charge(core, per_tuple_core)
+                if modified:
+                    write(core, spec.dst_value, dst)
+                    if not activated_bitmap[dst]:
+                        activated_bitmap[dst] = True
+                        if not dense:
+                            write(core, ArrayId.BITMAP, dst)
+                            charge(core, config.frontier_op_cycles)

@@ -1,0 +1,155 @@
+"""The Hygra baseline: index-ordered synchronous hypergraph processing.
+
+Reimplements the execution behaviour of Hygra (Shun, PPoPP'20) as the paper
+uses it: each phase iterates its active elements in ascending index order
+(Algorithm 1's ``VertexPro`` / ``HyperedgePro``), streaming the CSR and
+issuing demand accesses from the general-purpose core.
+
+The demand-path element processor ``process_elements_demand`` is shared with
+the software GLA engine, which differs only in schedule order.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    PHASE_HYPEREDGE,
+    AlgorithmState,
+    HypergraphAlgorithm,
+)
+from repro.core.gla import index_order_schedule
+from repro.engine.base import ExecutionEngine, PhaseSpec
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import Chunk
+from repro.sim.layout import ArrayId
+
+__all__ = ["HygraEngine", "process_elements_demand"]
+
+
+def process_elements_demand(
+    system: object,
+    hypergraph: Hypergraph,
+    algorithm: HypergraphAlgorithm,
+    state: AlgorithmState,
+    spec: PhaseSpec,
+    core: int,
+    elements: list[int],
+    activated: Frontier,
+    extra_element_cycles: float = 0.0,
+    extra_tuple_cycles: float = 0.0,
+) -> None:
+    """Process scheduled elements with all accesses on the core's demand path.
+
+    Per element: the two offset reads and one source-value read; per
+    incident edge: the incident-id read, optional destination-degree reads,
+    the destination-value read, the apply compute, and on modification the
+    destination-value write plus the next-frontier bitmap write (the
+    frontier-membership *reads* are the traversal engine's job — dense scans
+    or sparse lists — and are charged by the caller).  The ``extra_*``
+    cycles let the software GLA engine charge its chain-queue indirection
+    and tuple-packing overhead on the same path.
+    """
+    config = system.config
+    csr = hypergraph.side(spec.src_side)
+    offsets = csr.offsets
+    indices = csr.indices
+    apply_fn = (
+        algorithm.apply_hf if spec.phase == PHASE_HYPEREDGE else algorithm.apply_vf
+    )
+    dense = algorithm.dense_frontier
+    dst_degree = algorithm.reads_dst_degree
+    apply_cycles = config.apply_cycles * algorithm.apply_cost_factor
+    frontier_cycles = config.frontier_op_cycles
+    read = system.read
+    write = system.write
+    charge = system.charge_compute
+    activated_bitmap = activated.bitmap
+
+    for element in elements:
+        if extra_element_cycles:
+            charge(core, extra_element_cycles)
+        read(core, spec.src_offset, element)
+        read(core, spec.src_offset, element + 1)
+        read(core, spec.src_value, element)
+        start, end = int(offsets[element]), int(offsets[element + 1])
+        for position in range(start, end):
+            read(core, spec.incident, position)
+            dst = int(indices[position])
+            if dst_degree:
+                read(core, spec.dst_offset, dst)
+                read(core, spec.dst_offset, dst + 1)
+            read(core, spec.dst_value, dst)
+            modified = apply_fn(state, hypergraph, element, dst)
+            charge(core, apply_cycles + extra_tuple_cycles)
+            if modified:
+                write(core, spec.dst_value, dst)
+                if not activated_bitmap[dst]:
+                    activated_bitmap[dst] = True
+                    if not dense:
+                        write(core, ArrayId.BITMAP, dst)
+                        charge(core, frontier_cycles)
+
+
+def charge_frontier_traversal(
+    system: object,
+    core: int,
+    chunk: Chunk,
+    frontier: Frontier,
+    algorithm: HypergraphAlgorithm,
+    threshold: float = 0.05,
+) -> None:
+    """Charge the cost of *finding* a chunk's active elements.
+
+    Hygra switches representations like Ligra: a dense frontier is read by
+    scanning the bitmap sequentially over the chunk's id range (cheap — 64
+    flags per line); a sparse frontier is an explicit element list whose
+    sequential read is negligible next to the per-element CSR work.
+    All-active algorithms (PR) skip the bitmap entirely (§VI-C).
+    """
+    if algorithm.dense_frontier:
+        return
+    if frontier.density() >= threshold:
+        config = system.config
+        stride = config.line_size  # one BITMAP probe per line of flags
+        for index in range(chunk.first, chunk.last, stride):
+            system.read(core, ArrayId.BITMAP, index)
+        system.charge_compute(
+            core, len(chunk) * config.frontier_op_cycles / 8
+        )
+
+
+class HygraEngine(ExecutionEngine):
+    """Index-ordered scheduling — the paper's software baseline."""
+
+    name = "Hygra"
+
+    #: Frontier density at which the sparse list flips to a bitmap scan.
+    sparse_dense_threshold = 0.05
+
+    def _run_phase(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        frontier: Frontier,
+        chunks: list[Chunk],
+        activated: Frontier,
+    ) -> None:
+        for chunk in chunks:
+            charge_frontier_traversal(
+                system, chunk.core, chunk, frontier, algorithm,
+                self.sparse_dense_threshold,
+            )
+            elements = index_order_schedule(frontier, chunk)
+            process_elements_demand(
+                system,
+                hypergraph,
+                algorithm,
+                state,
+                spec,
+                chunk.core,
+                elements,
+                activated,
+            )

@@ -1,0 +1,72 @@
+"""Interleaved-core execution: a fidelity check on chunk-serial simulation.
+
+The engines simulate a phase chunk-by-chunk: core 0's whole chunk runs
+through the hierarchy before core 1's begins.  Real cores run concurrently,
+interleaving their access streams in the shared L3.  This engine processes
+one element per core in round-robin order, which is the opposite extreme
+(perfectly fair instruction-level interleaving).
+
+`benchmarks/test_ablation_interleaving.py` measures how much the choice
+moves DRAM counts; the gap bounds the error the serial simplification
+introduces into the shared-LLC behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import AlgorithmState, HypergraphAlgorithm
+from repro.core.gla import index_order_schedule
+from repro.engine.base import PhaseSpec
+from repro.engine.hygra import (
+    HygraEngine,
+    charge_frontier_traversal,
+    process_elements_demand,
+)
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import Chunk
+
+__all__ = ["InterleavedHygraEngine"]
+
+
+class InterleavedHygraEngine(HygraEngine):
+    """Hygra with per-element round-robin interleaving across cores."""
+
+    name = "Hygra-interleaved"
+
+    def _run_phase(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        frontier: Frontier,
+        chunks: list[Chunk],
+        activated: Frontier,
+    ) -> None:
+        schedules = []
+        for chunk in chunks:
+            charge_frontier_traversal(
+                system, chunk.core, chunk, frontier, algorithm,
+                self.sparse_dense_threshold,
+            )
+            schedules.append((chunk.core, index_order_schedule(frontier, chunk)))
+
+        position = 0
+        live = True
+        while live:
+            live = False
+            for core, elements in schedules:
+                if position < len(elements):
+                    live = True
+                    process_elements_demand(
+                        system,
+                        hypergraph,
+                        algorithm,
+                        state,
+                        spec,
+                        core,
+                        [elements[position]],
+                        activated,
+                    )
+            position += 1

@@ -1,0 +1,104 @@
+"""Pull-direction (dense-gather) execution — Ligra's ``edgeMapDense``.
+
+The push engines iterate *active sources* and scatter updates into
+destinations; the pull direction iterates *all destinations* and gathers
+from their active sources.  Hygra inherits this direction choice from
+Ligra: pulling wins when the frontier is dense (no scatter write-sharing,
+destination values written once, sequentially) and loses when sparse (every
+destination probes every incident source's activity bit).
+
+This engine always pulls — it exists to study the direction trade-off
+(`benchmarks/test_ablation_pull.py`), not to replace the push baseline the
+paper models.  Results are identical to push by construction: the same
+``apply`` calls run, merely discovered from the other side.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    PHASE_HYPEREDGE,
+    AlgorithmState,
+    HypergraphAlgorithm,
+)
+from repro.engine.base import ExecutionEngine, PhaseSpec
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.partition import Chunk, contiguous_chunks
+from repro.sim.layout import ArrayId
+
+__all__ = ["PullHygraEngine"]
+
+
+class PullHygraEngine(ExecutionEngine):
+    """Index-ordered dense-gather execution over the destination side."""
+
+    name = "Hygra-pull"
+
+    def _run_phase(
+        self,
+        system: object,
+        hypergraph: Hypergraph,
+        algorithm: HypergraphAlgorithm,
+        state: AlgorithmState,
+        spec: PhaseSpec,
+        frontier: Frontier,
+        chunks: list[Chunk],
+        activated: Frontier,
+    ) -> None:
+        config = system.config
+        # Pull iterates the DESTINATION side: its CSR is the mirror of the
+        # phase's source CSR (hyperedges' member lists during hyperedge
+        # computation, where sources are vertices).
+        dst_side = "hyperedge" if spec.src_side == "vertex" else "vertex"
+        dst_csr = hypergraph.side(dst_side)
+        offsets = dst_csr.offsets
+        indices = dst_csr.indices
+        apply_fn = (
+            algorithm.apply_hf if spec.phase == PHASE_HYPEREDGE else algorithm.apply_vf
+        )
+        # The positions walked are the destination side's incidence list
+        # (e.g. incident_vertex while gathering into hyperedges), the mirror
+        # of the push engines' array.
+        gather_incident = (
+            ArrayId.INCIDENT_VERTEX
+            if spec.incident == ArrayId.INCIDENT_HYPEREDGE
+            else ArrayId.INCIDENT_HYPEREDGE
+        )
+        dense = algorithm.dense_frontier
+        apply_cycles = config.apply_cycles * algorithm.apply_cost_factor
+        frontier_bitmap = frontier.bitmap
+        activated_bitmap = activated.bitmap
+        read = system.read
+        write = system.write
+        charge = system.charge_compute
+
+        # Destinations are chunked over their own universe.
+        dst_chunks = contiguous_chunks(dst_csr.num_rows, config.num_cores)
+        for chunk in dst_chunks:
+            core = chunk.core
+            for dst in chunk.ids():
+                read(core, spec.dst_offset, dst)
+                read(core, spec.dst_offset, dst + 1)
+                read(core, spec.dst_value, dst)
+                start, end = int(offsets[dst]), int(offsets[dst + 1])
+                touched = False
+                for position in range(start, end):
+                    src = int(indices[position])
+                    read(core, gather_incident, position)
+                    if not dense:
+                        # The pull tax: probe every incident source's bit.
+                        read(core, ArrayId.BITMAP, src)
+                        charge(core, config.frontier_op_cycles)
+                        if not frontier_bitmap[src]:
+                            continue
+                    read(core, spec.src_value, src)
+                    modified = apply_fn(state, hypergraph, src, dst)
+                    charge(core, apply_cycles)
+                    touched = touched or modified
+                if touched:
+                    # One sequential write per destination (pull's payoff).
+                    write(core, spec.dst_value, dst)
+                    if not activated_bitmap[dst]:
+                        activated_bitmap[dst] = True
+                        if not dense:
+                            write(core, ArrayId.BITMAP, dst)

@@ -1,0 +1,23 @@
+"""Exceptions shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class HypergraphFormatError(ReproError):
+    """Raised when hypergraph input data is malformed."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulator or engine is configured inconsistently."""
+
+
+class EngineError(ReproError):
+    """Raised when an execution engine is used incorrectly."""
+
+
+class FifoError(ReproError):
+    """Raised on misuse of a bounded hardware FIFO model."""

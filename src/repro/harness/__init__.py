@@ -1,0 +1,13 @@
+"""Experiment harness: dataset registry, memoized runner, report tables."""
+
+from repro.harness.datasets import graph_dataset, hypergraph_dataset
+from repro.harness.report import render_table
+from repro.harness.runner import Runner, get_runner
+
+__all__ = [
+    "Runner",
+    "get_runner",
+    "graph_dataset",
+    "hypergraph_dataset",
+    "render_table",
+]

@@ -1,0 +1,65 @@
+"""Fixed-width table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_value", "with_bars"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly cell formatting: floats get 2-3 significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table (what each bench prints)."""
+    cells = [[format_value(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def with_bars(
+    rows: Sequence[Sequence[object]],
+    value_index: int,
+    width: int = 28,
+) -> list[list[object]]:
+    """Append a proportional bar column visualizing ``rows[*][value_index]``.
+
+    Turns a regenerated table into something shaped like the paper's bar
+    charts: the largest value spans ``width`` characters, the rest scale.
+    """
+    values = [float(row[value_index]) for row in rows]
+    peak = max(values, default=0.0)
+    out = []
+    for row, value in zip(rows, values):
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        out.append([*row, bar])
+    return out

@@ -1,0 +1,161 @@
+"""The memoized experiment runner.
+
+One (engine, algorithm, dataset, system-config) simulation takes seconds;
+several figures share the same underlying runs (Fig 2/3/14/15/16/22 all need
+Hygra/GLA/ChGraph on the same workloads).  The :class:`Runner` memoizes
+``RunResult`` objects per key within the process so the whole benchmark
+suite pays for each simulation once.
+
+``REPRO_BENCH_FULL=1`` in the environment switches PageRank from the quick
+2-iteration default to the paper's 10 iterations and widens dataset scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.algorithms import (
+    Adsorption,
+    BetweennessCentrality,
+    Bfs,
+    ConnectedComponents,
+    KCore,
+    MaximalIndependentSet,
+    PageRank,
+    Sssp,
+)
+from repro.algorithms.base import HypergraphAlgorithm
+from repro.baselines import EventPrefetcherEngine, HatsVEngine, LigraEngine
+from repro.engine import (
+    ChGraphEngine,
+    GlaResources,
+    HygraEngine,
+    RunResult,
+    SoftwareGlaEngine,
+)
+from repro.engine.base import ExecutionEngine
+from repro.harness.datasets import graph_dataset, hypergraph_dataset
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.sim.config import SystemConfig, scaled_config
+from repro.sim.system import SimulatedSystem
+
+__all__ = ["Runner", "get_runner", "PAPER_APPS"]
+
+#: The six applications of the paper's evaluation, in its order.
+PAPER_APPS: tuple[str, ...] = ("BFS", "PR", "MIS", "BC", "CC", "k-core")
+
+
+def _full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+class Runner:
+    """Builds engines/algorithms by name and memoizes simulation runs."""
+
+    def __init__(self, pr_iterations: int | None = None) -> None:
+        if pr_iterations is None:
+            pr_iterations = 10 if _full_mode() else 2
+        self.pr_iterations = pr_iterations
+        self._results: dict[tuple, RunResult] = {}
+        self._resources: dict[tuple, GlaResources] = {}
+
+    # -- factories -----------------------------------------------------------
+
+    def algorithm(self, name: str) -> HypergraphAlgorithm:
+        factories = {
+            "BFS": Bfs,
+            "PR": lambda: PageRank(iterations=self.pr_iterations),
+            "MIS": MaximalIndependentSet,
+            "BC": BetweennessCentrality,
+            "CC": ConnectedComponents,
+            "k-core": KCore,
+            "SSSP": Sssp,
+            "Adsorption": lambda: Adsorption(iterations=self.pr_iterations),
+        }
+        try:
+            return factories[name]()
+        except KeyError:
+            raise KeyError(f"unknown algorithm {name!r}") from None
+
+    def resources(self, hypergraph: Hypergraph, config: SystemConfig) -> GlaResources:
+        key = (hypergraph.name, config.num_cores)
+        if key not in self._resources:
+            self._resources[key] = GlaResources.build(
+                hypergraph, config.num_cores
+            )
+        return self._resources[key]
+
+    def engine(
+        self, name: str, hypergraph: Hypergraph, config: SystemConfig
+    ) -> ExecutionEngine:
+        if name == "Hygra":
+            return HygraEngine()
+        if name == "Ligra":
+            return LigraEngine()
+        if name == "EventPrefetcher":
+            return EventPrefetcherEngine()
+        resources = self.resources(hypergraph, config)
+        if name == "GLA":
+            return SoftwareGlaEngine(resources)
+        if name == "ChGraph":
+            return ChGraphEngine(resources)
+        if name == "ChGraph-HCGonly":
+            return ChGraphEngine(resources, use_hcg=True, use_cp=False)
+        if name == "ChGraph-CPonly":
+            return ChGraphEngine(resources, use_hcg=False, use_cp=True)
+        if name == "HATS-V":
+            return HatsVEngine(resources)
+        raise KeyError(f"unknown engine {name!r}")
+
+    def dataset(self, key: str) -> Hypergraph:
+        if key in ("AZ", "PK"):
+            return graph_dataset(key)
+        return hypergraph_dataset(key)
+
+    # -- memoized execution ------------------------------------------------------
+
+    def run(
+        self,
+        engine_name: str,
+        algorithm_name: str,
+        dataset_key: str,
+        config: SystemConfig | None = None,
+    ) -> RunResult:
+        """Simulate (memoized) and return the :class:`RunResult`."""
+        if config is None:
+            config = scaled_config()
+        # SystemConfig is a frozen dataclass, hence hashable: keying on the
+        # full config (not its name) keeps modified copies distinct.
+        key = (engine_name, algorithm_name, dataset_key, config,
+               self.pr_iterations)
+        if key not in self._results:
+            hypergraph = self.dataset(dataset_key)
+            engine = self.engine(engine_name, hypergraph, config)
+            algorithm = self.algorithm(algorithm_name)
+            system = SimulatedSystem(config)
+            self._results[key] = engine.run(algorithm, hypergraph, system)
+        return self._results[key]
+
+    def speedup(
+        self,
+        engine_name: str,
+        baseline_name: str,
+        algorithm_name: str,
+        dataset_key: str,
+        config: SystemConfig | None = None,
+    ) -> float:
+        """Speedup of ``engine_name`` over ``baseline_name``."""
+        run = self.run(engine_name, algorithm_name, dataset_key, config)
+        base = self.run(baseline_name, algorithm_name, dataset_key, config)
+        return run.speedup_over(base)
+
+
+_runner: Runner | None = None
+
+
+def get_runner() -> Runner:
+    """The process-wide shared runner (benchmarks reuse its memo cache)."""
+    global _runner
+    if _runner is None:
+        _runner = Runner()
+    return _runner

@@ -1,0 +1,8 @@
+"""Hypergraph representation substrate (bipartite CSR, Figure 4)."""
+
+from repro.hypergraph.csr import Csr
+from repro.hypergraph.directed import DirectedHypergraph
+from repro.hypergraph.frontier import Frontier
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["Csr", "DirectedHypergraph", "Frontier", "Hypergraph"]

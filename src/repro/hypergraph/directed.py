@@ -1,0 +1,155 @@
+"""Directed hypergraphs (§II-A).
+
+"For a directed hypergraph, the incident vertices of a directed hyperedge
+can be divided into a source vertex set and a destination vertex set."
+ChGraph supports both kinds; the evaluation treats everything as undirected,
+so the engines consume the undirected :class:`~repro.hypergraph.Hypergraph`
+— a directed hypergraph provides *projections* that plug into the same
+machinery:
+
+* ``forward()`` — hyperedges connect their sources to their destinations:
+  the hyperedge-side CSR lists destination sets (what an active hyperedge
+  updates) and the vertex-side CSR lists the hyperedges each vertex feeds
+  (what an active vertex activates).  Propagation then follows edge
+  direction, which is exactly what directed BFS/SSSP/reachability need.
+* ``backward()`` — the reverse orientation (for pull-style algorithms or
+  reverse reachability).
+* ``as_undirected()`` — sources ∪ destinations per hyperedge (what the
+  paper's evaluation does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import HypergraphFormatError
+from repro.hypergraph.csr import Csr
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = ["DirectedHypergraph"]
+
+
+class DirectedHypergraph:
+    """A hypergraph whose hyperedges have source and destination vertex sets.
+
+    ``sources`` maps each hyperedge to its source vertices (the tail set);
+    ``destinations`` to its destination vertices (the head set).  A vertex
+    may appear in both sets of one hyperedge (a self-sustaining relation).
+    """
+
+    __slots__ = ("sources", "destinations", "num_vertices", "name")
+
+    def __init__(
+        self,
+        sources: Csr,
+        destinations: Csr,
+        num_vertices: int,
+        name: str = "directed-hypergraph",
+    ) -> None:
+        if sources.num_rows != destinations.num_rows:
+            raise HypergraphFormatError(
+                "source and destination CSRs disagree on hyperedge count "
+                f"({sources.num_rows} vs {destinations.num_rows})"
+            )
+        for csr, label in ((sources, "source"), (destinations, "destination")):
+            if csr.indices.size and csr.indices.max() >= num_vertices:
+                raise HypergraphFormatError(f"{label} vertex id out of range")
+        self.sources = sources
+        self.destinations = destinations
+        self.num_vertices = num_vertices
+        self.name = name
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_lists(
+        cls,
+        hyperedges: Sequence[tuple[Iterable[int], Iterable[int]]],
+        num_vertices: int | None = None,
+        name: str = "directed-hypergraph",
+    ) -> "DirectedHypergraph":
+        """Build from ``(source_set, destination_set)`` pairs."""
+        source_rows = [sorted(set(int(v) for v in src)) for src, _ in hyperedges]
+        dest_rows = [sorted(set(int(v) for v in dst)) for _, dst in hyperedges]
+        peak = 0
+        for row in (*source_rows, *dest_rows):
+            if row:
+                if row[0] < 0:
+                    raise HypergraphFormatError("vertex ids must be non-negative")
+                peak = max(peak, row[-1] + 1)
+        if num_vertices is None:
+            num_vertices = peak
+        elif num_vertices < peak:
+            raise HypergraphFormatError(
+                f"num_vertices={num_vertices} smaller than max vertex id + 1"
+            )
+        return cls(
+            Csr.from_lists(source_rows),
+            Csr.from_lists(dest_rows),
+            num_vertices,
+            name=name,
+        )
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def num_hyperedges(self) -> int:
+        return self.sources.num_rows
+
+    def source_vertices(self, h: int) -> np.ndarray:
+        return self.sources.neighbors(h)
+
+    def destination_vertices(self, h: int) -> np.ndarray:
+        return self.destinations.neighbors(h)
+
+    # -- projections ------------------------------------------------------------
+
+    def forward(self) -> Hypergraph:
+        """The forward orientation as an engine-consumable hypergraph.
+
+        The hyperedge-side CSR lists each hyperedge's *destinations* (the
+        vertices it updates during vertex computation); the vertex-side CSR
+        lists, for each vertex, the hyperedges it is a *source* of (the
+        hyperedges it updates during hyperedge computation).  Propagation
+        under Algorithm 1 then flows sources -> hyperedge -> destinations.
+        """
+        vertex_side = self.sources.transpose(num_cols=self.num_vertices)
+        return Hypergraph(
+            self.destinations, vertex_side, name=self.name + "+fwd", directed=True
+        )
+
+    def backward(self) -> Hypergraph:
+        """The reverse orientation (destinations drive, sources receive)."""
+        vertex_side = self.destinations.transpose(num_cols=self.num_vertices)
+        return Hypergraph(
+            self.sources, vertex_side, name=self.name + "+bwd", directed=True
+        )
+
+    def as_undirected(self) -> Hypergraph:
+        """Union of source and destination sets per hyperedge (the paper's
+        evaluation setting: "all hypergraphs are considered undirected")."""
+        members = [
+            sorted(
+                set(map(int, self.source_vertices(h)))
+                | set(map(int, self.destination_vertices(h)))
+            )
+            for h in range(self.num_hyperedges)
+        ]
+        return Hypergraph.from_hyperedge_lists(
+            members, num_vertices=self.num_vertices, name=self.name
+        )
+
+    def reverse(self) -> "DirectedHypergraph":
+        """Swap every hyperedge's source and destination sets."""
+        return DirectedHypergraph(
+            self.destinations, self.sources, self.num_vertices,
+            name=self.name + "+rev",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectedHypergraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|H|={self.num_hyperedges})"
+        )

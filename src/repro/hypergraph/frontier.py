@@ -1,0 +1,83 @@
+"""Active sets of vertices or hyperedges.
+
+The paper keeps per-element activity in a bitmap (1 = active) that is shared
+with the ChGraph engine (Figure 13: "base address of the bitmap").  The
+software engines also want a sparse view for iteration, mirroring Hygra's
+dense/sparse ``VertexSubset``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """A set of active ids over a universe ``0..universe-1``.
+
+    Maintains both the dense bitmap (what the hardware reads) and a sorted
+    sparse id list (what index-ordered software iterates).
+    """
+
+    __slots__ = ("universe", "bitmap")
+
+    def __init__(self, universe: int, active: Iterable[int] = ()) -> None:
+        self.universe = int(universe)
+        self.bitmap = np.zeros(self.universe, dtype=bool)
+        for i in active:
+            self.bitmap[i] = True
+
+    @classmethod
+    def all_active(cls, universe: int) -> "Frontier":
+        frontier = cls(universe)
+        frontier.bitmap[:] = True
+        return frontier
+
+    @classmethod
+    def from_bitmap(cls, bitmap: np.ndarray) -> "Frontier":
+        frontier = cls(bitmap.size)
+        frontier.bitmap = bitmap.astype(bool, copy=True)
+        return frontier
+
+    # -- set operations ------------------------------------------------------
+
+    def add(self, i: int) -> None:
+        self.bitmap[i] = True
+
+    def discard(self, i: int) -> None:
+        self.bitmap[i] = False
+
+    def __contains__(self, i: int) -> bool:
+        return bool(self.bitmap[i])
+
+    def __len__(self) -> int:
+        return int(self.bitmap.sum())
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate active ids in ascending index order (Hygra's order)."""
+        return iter(self.ids())
+
+    def ids(self) -> np.ndarray:
+        """Sorted array of active ids."""
+        return np.flatnonzero(self.bitmap)
+
+    def is_empty(self) -> bool:
+        return not self.bitmap.any()
+
+    def clear(self) -> None:
+        self.bitmap[:] = False
+
+    def copy(self) -> "Frontier":
+        return Frontier.from_bitmap(self.bitmap)
+
+    def density(self) -> float:
+        """Fraction of the universe that is active."""
+        if self.universe == 0:
+            return 0.0
+        return len(self) / self.universe
+
+    def __repr__(self) -> str:
+        return f"Frontier(active={len(self)}/{self.universe})"

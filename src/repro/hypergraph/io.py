@@ -1,0 +1,204 @@
+"""Hypergraph text I/O.
+
+Supports two interchange formats:
+
+* **hyperedge-list** (``.hgr``-like): one hyperedge per line, whitespace
+  separated vertex ids; ``#`` comments and blank lines skipped.  This is the
+  natural serialization of the bipartite representation.
+* **bipartite edge list** (KONECT-like): one ``hyperedge vertex`` pair per
+  line, mirroring how KONECT distributes Web-trackers / Orkut-group.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import HypergraphFormatError
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "save_hyperedge_list",
+    "load_hyperedge_list",
+    "save_bipartite_edges",
+    "load_bipartite_edges",
+    "save_matrix_market",
+    "load_matrix_market",
+    "save_json",
+    "load_json",
+]
+
+
+def save_hyperedge_list(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write one hyperedge per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# hypergraph {hypergraph.name}\n")
+        handle.write(
+            f"# vertices={hypergraph.num_vertices} "
+            f"hyperedges={hypergraph.num_hyperedges}\n"
+        )
+        for h in range(hypergraph.num_hyperedges):
+            members = " ".join(str(int(v)) for v in hypergraph.incident_vertices(h))
+            handle.write(members + "\n")
+
+
+def load_hyperedge_list(
+    path: str | Path, num_vertices: int | None = None, name: str | None = None
+) -> Hypergraph:
+    """Read a hyperedge-list file written by :func:`save_hyperedge_list`."""
+    path = Path(path)
+    hyperedges: list[list[int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            try:
+                members = [int(token) for token in line.split()]
+            except ValueError as exc:
+                raise HypergraphFormatError(
+                    f"{path}:{line_number}: not an integer list: {line!r}"
+                ) from exc
+            hyperedges.append(members)
+    return Hypergraph.from_hyperedge_lists(
+        hyperedges, num_vertices=num_vertices, name=name or path.stem
+    )
+
+
+def save_bipartite_edges(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write ``hyperedge vertex`` pairs, one bipartite edge per line."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("% bip\n")
+        for h in range(hypergraph.num_hyperedges):
+            for v in hypergraph.incident_vertices(h):
+                handle.write(f"{h} {int(v)}\n")
+
+
+def load_bipartite_edges(
+    path: str | Path, name: str | None = None
+) -> Hypergraph:
+    """Read a KONECT-like bipartite edge list (``hyperedge vertex`` pairs)."""
+    path = Path(path)
+    pairs: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            tokens = line.split()
+            if len(tokens) < 2:
+                raise HypergraphFormatError(
+                    f"{path}:{line_number}: expected 'hyperedge vertex' pair"
+                )
+            try:
+                pairs.append((int(tokens[0]), int(tokens[1])))
+            except ValueError as exc:
+                raise HypergraphFormatError(
+                    f"{path}:{line_number}: not integers: {line!r}"
+                ) from exc
+    if not pairs:
+        raise HypergraphFormatError(f"{path}: no bipartite edges found")
+    num_hyperedges = max(h for h, _ in pairs) + 1
+    members: list[list[int]] = [[] for _ in range(num_hyperedges)]
+    for h, v in pairs:
+        members[h].append(v)
+    return Hypergraph.from_hyperedge_lists(members, name=name or path.stem)
+
+
+def save_json(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write a self-describing JSON document (useful for small fixtures)."""
+    document = {
+        "name": hypergraph.name,
+        "num_vertices": hypergraph.num_vertices,
+        "hyperedges": hypergraph.hyperedges.to_lists(),
+    }
+    Path(path).write_text(json.dumps(document, indent=1), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> Hypergraph:
+    """Read a JSON document written by :func:`save_json`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        return Hypergraph.from_hyperedge_lists(
+            document["hyperedges"],
+            num_vertices=document["num_vertices"],
+            name=document.get("name", Path(path).stem),
+        )
+    except KeyError as exc:
+        raise HypergraphFormatError(f"{path}: missing key {exc}") from exc
+
+
+def save_matrix_market(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write the bipartite incidence matrix in MatrixMarket coordinate form.
+
+    Rows are hyperedges, columns are vertices, entries are 1-based (the MM
+    convention); pattern-only (no values).  Interoperates with scipy.io and
+    the SuiteSparse collection's ``.mtx`` files.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("%%MatrixMarket matrix coordinate pattern general\n")
+        handle.write(f"% hypergraph {hypergraph.name}\n")
+        handle.write(
+            f"{hypergraph.num_hyperedges} {hypergraph.num_vertices} "
+            f"{hypergraph.num_bipartite_edges}\n"
+        )
+        for h in range(hypergraph.num_hyperedges):
+            for v in hypergraph.incident_vertices(h):
+                handle.write(f"{h + 1} {int(v) + 1}\n")
+
+
+def load_matrix_market(path: str | Path, name: str | None = None) -> Hypergraph:
+    """Read a MatrixMarket coordinate file as a bipartite hypergraph.
+
+    Rows become hyperedges and columns vertices; any value field after the
+    coordinates is ignored (pattern semantics).
+    """
+    path = Path(path)
+    header_seen = False
+    dims: tuple[int, int] | None = None
+    members: list[list[int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("%"):
+                header_seen = True
+                continue
+            tokens = line.split()
+            if dims is None:
+                if len(tokens) < 3:
+                    raise HypergraphFormatError(
+                        f"{path}:{line_number}: expected 'rows cols nnz' header"
+                    )
+                try:
+                    rows, cols = int(tokens[0]), int(tokens[1])
+                except ValueError as exc:
+                    raise HypergraphFormatError(
+                        f"{path}:{line_number}: bad size line {line!r}"
+                    ) from exc
+                dims = (rows, cols)
+                members = [[] for _ in range(rows)]
+                continue
+            try:
+                h, v = int(tokens[0]) - 1, int(tokens[1]) - 1
+            except ValueError as exc:
+                raise HypergraphFormatError(
+                    f"{path}:{line_number}: bad coordinate {line!r}"
+                ) from exc
+            if not (0 <= h < dims[0]) or not (0 <= v < dims[1]):
+                raise HypergraphFormatError(
+                    f"{path}:{line_number}: coordinate ({h + 1}, {v + 1}) "
+                    f"outside {dims[0]}x{dims[1]}"
+                )
+            members[h].append(v)
+    if dims is None:
+        raise HypergraphFormatError(f"{path}: no size line found")
+    if not header_seen:
+        raise HypergraphFormatError(f"{path}: missing MatrixMarket header")
+    return Hypergraph.from_hyperedge_lists(
+        members, num_vertices=dims[1], name=name or path.stem
+    )

@@ -1,0 +1,84 @@
+"""Structural statistics: Table II rows and Figure 8 overlap curves."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+__all__ = [
+    "DatasetStats",
+    "dataset_stats",
+    "shared_vertex_ratio",
+    "shared_hyperedge_ratio",
+    "overlap_curve",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table II."""
+
+    name: str
+    num_vertices: int
+    num_hyperedges: int
+    num_bipartite_edges: int
+    size_bytes: int
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / (1024 * 1024)
+
+
+def dataset_stats(hypergraph: Hypergraph) -> DatasetStats:
+    """Compute the Table II row for a hypergraph."""
+    return DatasetStats(
+        name=hypergraph.name,
+        num_vertices=hypergraph.num_vertices,
+        num_hyperedges=hypergraph.num_hyperedges,
+        num_bipartite_edges=hypergraph.num_bipartite_edges,
+        size_bytes=hypergraph.size_bytes(),
+    )
+
+
+def shared_vertex_ratio(hypergraph: Hypergraph, min_hyperedges: int) -> float:
+    """Fraction of vertices incident to at least ``min_hyperedges`` hyperedges.
+
+    Figure 8(a): "ratio of vertices that can be shared with a different
+    number of hyperedges".  A vertex shared by k hyperedges has degree k.
+    """
+    if hypergraph.num_vertices == 0:
+        return 0.0
+    degrees = np.diff(hypergraph.vertices.offsets)
+    return float(np.count_nonzero(degrees >= min_hyperedges) / hypergraph.num_vertices)
+
+
+def shared_hyperedge_ratio(hypergraph: Hypergraph, min_vertices: int) -> float:
+    """Figure 8(b): fraction of hyperedges overlapping others via sharing.
+
+    A hyperedge "shared by k vertices" means at least ``k`` of its member
+    vertices are also members of some other hyperedge.
+    """
+    if hypergraph.num_hyperedges == 0:
+        return 0.0
+    vertex_degrees = np.diff(hypergraph.vertices.offsets)
+    count = 0
+    for h in range(hypergraph.num_hyperedges):
+        members = hypergraph.incident_vertices(h)
+        shared = int(np.count_nonzero(vertex_degrees[members] >= 2))
+        if shared >= min_vertices:
+            count += 1
+    return count / hypergraph.num_hyperedges
+
+
+def overlap_curve(
+    hypergraph: Hypergraph, side: str, thresholds: tuple[int, ...] = (2, 3, 5, 7)
+) -> dict[int, float]:
+    """The Figure 8 curve for one dataset: threshold -> sharable ratio."""
+    if side == "vertex":
+        return {k: shared_vertex_ratio(hypergraph, k) for k in thresholds}
+    if side == "hyperedge":
+        return {k: shared_hyperedge_ratio(hypergraph, k) for k in thresholds}
+    raise ValueError(f"unknown side {side!r}; expected 'vertex' or 'hyperedge'")

@@ -1,0 +1,21 @@
+"""Simulated multi-core memory system (the paper's Table I substrate)."""
+
+from repro.sim.config import SystemConfig, scaled_config, table1_config
+from repro.sim.layout import ArrayId, MemoryLayout
+from repro.sim.null import NullSystem
+from repro.sim.reuse import ReuseProfile, profile_stream
+from repro.sim.system import SimulatedSystem
+from repro.sim.trace import TracingSystem
+
+__all__ = [
+    "ArrayId",
+    "MemoryLayout",
+    "NullSystem",
+    "ReuseProfile",
+    "SimulatedSystem",
+    "SystemConfig",
+    "TracingSystem",
+    "profile_stream",
+    "scaled_config",
+    "table1_config",
+]

@@ -1,0 +1,141 @@
+"""A set-associative cache model with LRU replacement.
+
+This is the functional building block of the Table I hierarchy.  It tracks
+presence only (no data), which is all that hit/miss accounting needs; MESI
+state is reduced to a valid/dirty bit per line because the engines modelled
+here are synchronous (the paper notes ChGraph has "no coherency issues" —
+updates from an iteration are only read in the next one).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cache", "CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.3f})"
+        )
+
+
+class Cache:
+    """A set-associative LRU cache over line numbers.
+
+    The cache is indexed by *line number* (byte address / line size); the
+    caller is responsible for that translation, which lets one ``Cache``
+    instance serve any level of the hierarchy.
+    """
+
+    def __init__(self, size_bytes: int, associativity: int, line_size: int) -> None:
+        if size_bytes % (associativity * line_size):
+            raise ValueError(
+                f"cache size {size_bytes} not divisible by way size "
+                f"{associativity * line_size}"
+            )
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.num_sets = size_bytes // (associativity * line_size)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        # Each set is an LRU-ordered list of line numbers (MRU at the end),
+        # with a parallel dirty-line set.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: set[int] = set()
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    def lookup(self, line: int) -> bool:
+        """Probe without allocating; promotes to MRU on hit."""
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, line: int, dirty: bool = False) -> int | None:
+        """Insert ``line``; returns the evicted line number, if any.
+
+        ``dirty`` marks the incoming line as modified (a write-allocate).
+        A dirty victim bumps the writeback counter before being returned.
+        """
+        ways = self._sets[self._set_index(line)]
+        if line in ways:  # refill of a present line: just promote
+            ways.remove(line)
+            ways.append(line)
+            if dirty:
+                self._dirty.add(line)
+            return None
+        victim = None
+        if len(ways) >= self.associativity:
+            victim = ways.pop(0)
+            self.stats.evictions += 1
+            if victim in self._dirty:
+                self._dirty.discard(victim)
+                self.stats.writebacks += 1
+        ways.append(line)
+        if dirty:
+            self._dirty.add(line)
+        return victim
+
+    def access(self, line: int, write: bool = False) -> bool:
+        """Probe and, on miss, allocate.  Returns hit/miss."""
+        hit = self.lookup(line)
+        if hit:
+            if write:
+                self._dirty.add(line)
+        else:
+            self.fill(line, dirty=write)
+        return hit
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line if present (used for inclusive-L3 back-invalidation)."""
+        ways = self._sets[self._set_index(line)]
+        if line in ways:
+            ways.remove(line)
+            self._dirty.discard(line)
+            return True
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching LRU order or stats."""
+        return line in self._sets[self._set_index(line)]
+
+    def resident_lines(self) -> list[int]:
+        """All currently cached line numbers (for tests and invariants)."""
+        return [line for ways in self._sets for line in ways]
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.size_bytes}B, {self.associativity}-way, "
+            f"{self.num_sets} sets)"
+        )

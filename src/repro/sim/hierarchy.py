@@ -1,0 +1,197 @@
+"""The three-level cache hierarchy with per-array DRAM attribution.
+
+Private L1/L2 per core, shared banked inclusive L3, and a DRAM model.  Every
+access is attributed to one of the :class:`~repro.sim.layout.ArrayId` arrays
+so the Figure 15 breakdown can be reproduced exactly.
+
+Simplifications relative to ZSim (documented in DESIGN.md): MESI is reduced
+to inclusive presence + dirty bits — the engines are synchronous and
+partition writes by chunk, so cross-core write races do not occur; read
+sharing is naturally captured by the shared L3.  Dirty L3 evictions are
+counted as DRAM accesses (writebacks); OAG lines are never dirty, matching
+the paper's "discard rather than write back" rule for OAG entries.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cache import Cache
+from repro.sim.coherence import MesiDirectory
+from repro.sim.config import SystemConfig
+from repro.sim.dram import DramModel
+from repro.sim.layout import ArrayId, MemoryLayout
+from repro.sim.noc import MeshNoc
+
+__all__ = ["MemoryHierarchy"]
+
+_NUM_ARRAYS = len(ArrayId)
+
+
+class MemoryHierarchy:
+    """Functional cache hierarchy shared by all execution engines."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.layout = MemoryLayout(config.line_size)
+        self.l1 = [
+            Cache(config.l1_size, config.l1_assoc, config.line_size)
+            for _ in range(config.num_cores)
+        ]
+        self.l2 = [
+            Cache(config.l2_size, config.l2_assoc, config.line_size)
+            for _ in range(config.num_cores)
+        ]
+        self.l3 = Cache(config.l3_size, config.l3_assoc, config.line_size)
+        self.noc = MeshNoc(
+            max(config.num_cores, config.l3_banks),
+            config.noc_router_latency,
+            config.noc_link_latency,
+        )
+        self.dram = DramModel(
+            num_controllers=config.dram_controllers,
+            base_latency=config.dram_latency,
+            line_size=config.line_size,
+            bytes_per_cycle_per_controller=config.dram_bytes_per_cycle_per_controller,
+        )
+        # DRAM accesses attributed per array (Figure 15).
+        self.dram_by_array = [0] * _NUM_ARRAYS
+        # Optional MESI directory (Table I); tracks the L2 level, the larger
+        # private cache, as each core's coherence point.
+        self.coherence = MesiDirectory() if config.track_coherence else None
+        # Which cores may hold a line in a private cache (for inclusion).
+        self._owners: dict[int, set[int]] = {}
+        self._l3_latency_cache: dict[int, int] = {}
+
+    # -- internal helpers ---------------------------------------------------
+
+    def _l3_round_trip(self, core: int, line: int) -> int:
+        """NoC round trip to the owning L3 bank plus bank latency."""
+        bank = line % self.config.l3_banks
+        key = core * self.config.l3_banks + bank
+        latency = self._l3_latency_cache.get(key)
+        if latency is None:
+            # Banks are striped across mesh tiles.
+            tile = (bank * max(1, self.noc.num_tiles // self.config.l3_banks)) % (
+                self.noc.num_tiles
+            )
+            latency = self.noc.round_trip(core, tile) + self.config.l3_latency
+            self._l3_latency_cache[key] = latency
+        return latency
+
+    def _back_invalidate(self, line: int) -> None:
+        """Inclusive L3: an evicted line must leave all private caches."""
+        owners = self._owners.pop(line, None)
+        if not owners:
+            return
+        for core in owners:
+            self.l1[core].invalidate(line)
+            self.l2[core].invalidate(line)
+            if self.coherence is not None:
+                self.coherence.on_evict(core, line)
+
+    def _note_owner(self, line: int, core: int) -> None:
+        self._owners.setdefault(line, set()).add(core)
+
+    # -- the access path ------------------------------------------------------
+
+    def access(self, core: int, array: ArrayId, index: int, write: bool = False) -> int:
+        """Perform one element access; returns its latency in core cycles."""
+        config = self.config
+        line = self.layout.line_of(array, index)
+
+        if self.coherence is not None:
+            if write:
+                self.coherence.on_write(core, line)
+            else:
+                self.coherence.on_read(core, line)
+
+        latency = config.l1_latency
+        if self.l1[core].lookup(line):
+            if write:
+                self.l1[core].fill(line, dirty=True)
+            return latency
+
+        latency += config.l2_latency
+        if self.l2[core].lookup(line):
+            self.l1[core].fill(line, dirty=write)
+            self._note_owner(line, core)
+            return latency
+
+        latency += self._l3_round_trip(core, line)
+        if not self.l3.lookup(line):
+            # Miss to DRAM.
+            latency += self.dram.record_access()
+            self.dram_by_array[array] += 1
+            victim = self.l3.fill(line)
+            if victim is not None and self.config.inclusive_l3:
+                self._back_invalidate(victim)
+
+        victim = self.l2[core].fill(line)
+        if victim is not None and self.coherence is not None:
+            self.coherence.on_evict(core, victim)
+        self.l1[core].fill(line, dirty=write)
+        if self.config.inclusive_l3:
+            self._note_owner(line, core)
+        return latency
+
+    def engine_access(self, core: int, array: ArrayId, index: int) -> int:
+        """An access issued by the per-core ChGraph engine.
+
+        ChGraph sits beside the L1 but "accesses the main memory via the L2
+        cache" (§V-A): it probes L2 directly and fills L2 (never the core's
+        L1), so prefetched lines land where the core's demand misses will
+        find them without polluting the L1.
+        """
+        config = self.config
+        line = self.layout.line_of(array, index)
+        latency = config.l2_latency
+        if self.l2[core].lookup(line):
+            return latency
+        latency += self._l3_round_trip(core, line)
+        if not self.l3.lookup(line):
+            latency += self.dram.record_access()
+            self.dram_by_array[array] += 1
+            victim = self.l3.fill(line)
+            if victim is not None and self.config.inclusive_l3:
+                self._back_invalidate(victim)
+        if self.coherence is not None:
+            self.coherence.on_read(core, line)
+        victim = self.l2[core].fill(line)
+        if victim is not None and self.coherence is not None:
+            self.coherence.on_evict(core, victim)
+        if self.config.inclusive_l3:
+            self._note_owner(line, core)
+        return latency
+
+    def touch_sequential(
+        self, core: int, array: ArrayId, start: int, count: int, write: bool = False
+    ) -> int:
+        """Access ``count`` consecutive elements; returns total latency.
+
+        Consecutive elements of the same cache line cost one hierarchy probe
+        for the line plus an L1 hit for each subsequent element, which is
+        exactly what per-element :meth:`access` produces — this helper exists
+        to make engine code read naturally, not to shortcut the model.
+        """
+        total = 0
+        for index in range(start, start + count):
+            total += self.access(core, array, index, write=write)
+        return total
+
+    # -- statistics -----------------------------------------------------------
+
+    def dram_accesses(self) -> int:
+        """Total DRAM line fetches (demand misses)."""
+        return sum(self.dram_by_array)
+
+    def dram_breakdown(self) -> dict[ArrayId, int]:
+        return {ArrayId(i): count for i, count in enumerate(self.dram_by_array)}
+
+    def writebacks(self) -> int:
+        """Dirty lines evicted from the L3 back to memory."""
+        return self.l3.stats.writebacks
+
+    def reset_stats(self) -> None:
+        for cache in (*self.l1, *self.l2, self.l3):
+            cache.reset_stats()
+        self.dram.reset()
+        self.dram_by_array = [0] * _NUM_ARRAYS

@@ -1,0 +1,54 @@
+"""Mesh network-on-chip latency model (Table I: 4x4 mesh, X-Y routing).
+
+L3 banks are distributed across mesh tiles; an L3 access from a core pays
+the X-Y hop distance to the owning bank (1-cycle routers + 1-cycle links,
+per Table I), both ways.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["MeshNoc"]
+
+
+class MeshNoc:
+    """An ``n x n`` mesh with X-Y dimension-ordered routing."""
+
+    def __init__(
+        self,
+        num_tiles: int,
+        router_latency: int = 1,
+        link_latency: int = 1,
+    ) -> None:
+        side = int(math.isqrt(num_tiles))
+        if side * side != num_tiles:
+            side = max(1, side)  # non-square core counts map onto a near-square
+            while side * side < num_tiles:
+                side += 1
+        self.side = side
+        self.num_tiles = num_tiles
+        self.router_latency = router_latency
+        self.link_latency = link_latency
+
+    def coordinates(self, tile: int) -> tuple[int, int]:
+        return tile % self.side, tile // self.side
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two tiles under X-Y routing."""
+        sx, sy = self.coordinates(src % self.num_tiles)
+        dx, dy = self.coordinates(dst % self.num_tiles)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way latency in cycles: per-hop router + link traversal."""
+        hops = self.hops(src, dst)
+        return hops * (self.router_latency + self.link_latency)
+
+    def round_trip(self, src: int, dst: int) -> int:
+        return 2 * self.latency(src, dst)
+
+    def average_round_trip(self, src: int) -> float:
+        """Mean round-trip from ``src`` across all tiles (bank hashing)."""
+        total = sum(self.round_trip(src, dst) for dst in range(self.num_tiles))
+        return total / self.num_tiles

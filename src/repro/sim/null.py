@@ -1,0 +1,54 @@
+"""A zero-cost stand-in for :class:`~repro.sim.system.SimulatedSystem`.
+
+Running an engine against a ``NullSystem`` executes the full algorithm
+semantics without any cache or timing simulation — the fastest way to get
+*answers* (used by correctness tests and by callers who only want results).
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SystemConfig, scaled_config
+from repro.sim.layout import ArrayId
+
+__all__ = ["NullSystem"]
+
+
+class NullSystem:
+    """Implements the :class:`SimulatedSystem` charging interface as no-ops."""
+
+    #: No cache hierarchy is attached; engines skip raw accesses when None.
+    hierarchy = None
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or scaled_config()
+
+    def read(self, core: int, array: ArrayId, index: int) -> int:
+        return 0
+
+    def read_serial(self, core: int, array: ArrayId, index: int) -> int:
+        return 0
+
+    def write(self, core: int, array: ArrayId, index: int) -> int:
+        return 0
+
+    def engine_read(self, core: int, array: ArrayId, index: int) -> int:
+        return 0
+
+    def charge_compute(self, core: int, cycles: float) -> None:
+        pass
+
+    def charge_engine(self, core: int, cycles: float) -> None:
+        pass
+
+    def barrier(self) -> float:
+        return 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return 0.0
+
+    def dram_accesses(self) -> int:
+        return 0
+
+    def dram_breakdown(self) -> dict[ArrayId, int]:
+        return {array: 0 for array in ArrayId}

@@ -1,0 +1,88 @@
+"""The simulated system facade used by all execution engines.
+
+Bundles the cache hierarchy, the phase timer and the energy model behind
+three operations engines actually use: ``read``, ``write`` and
+``charge_compute``, plus ``barrier`` at phase ends.  Reads/writes charge
+their latency to the issuing core's *demand* stream; engines modelling a
+decoupled access engine (ChGraph) use ``engine_read`` instead, which charges
+the engine-side accumulator so the core and engine overlap.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import SystemConfig
+from repro.sim.energy import EnergyModel, EnergyReport
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.layout import ArrayId
+from repro.sim.timing import PhaseTimer, TimingBreakdown
+
+__all__ = ["SimulatedSystem"]
+
+
+class SimulatedSystem:
+    """One simulation instance: config + hierarchy + timing + energy."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+        self.timer = PhaseTimer(config)
+        self.energy_model = EnergyModel()
+        self.total_compute_cycles = 0.0
+
+    # -- demand-side accesses (the general-purpose core) --------------------
+
+    def read(self, core: int, array: ArrayId, index: int) -> int:
+        latency = self.hierarchy.access(core, array, index, write=False)
+        self.timer.charge_memory(core, latency)
+        return latency
+
+    def write(self, core: int, array: ArrayId, index: int) -> int:
+        latency = self.hierarchy.access(core, array, index, write=True)
+        self.timer.charge_memory(core, latency)
+        return latency
+
+    def read_serial(self, core: int, array: ArrayId, index: int) -> int:
+        """A dependency-chained read (pointer chasing): the core cannot
+        overlap it with other misses, so its full latency is serial time."""
+        latency = self.hierarchy.access(core, array, index, write=False)
+        self.timer.charge_compute(core, latency)
+        return latency
+
+    def charge_compute(self, core: int, cycles: float) -> None:
+        self.timer.charge_compute(core, cycles)
+        self.total_compute_cycles += cycles
+
+    # -- engine-side accesses (ChGraph's HCG / CP) --------------------------
+
+    def engine_read(self, core: int, array: ArrayId, index: int) -> int:
+        """A read issued by the per-core accelerator, off the demand path."""
+        latency = self.hierarchy.access(core, array, index, write=False)
+        self.timer.charge_engine(core, latency)
+        return latency
+
+    def charge_engine(self, core: int, cycles: float) -> None:
+        self.timer.charge_engine(core, cycles)
+
+    # -- phases ---------------------------------------------------------------
+
+    def barrier(self) -> float:
+        return self.timer.barrier()
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def breakdown(self) -> TimingBreakdown:
+        return self.timer.breakdown
+
+    @property
+    def total_cycles(self) -> float:
+        return self.timer.breakdown.total_cycles
+
+    def dram_accesses(self) -> int:
+        return self.hierarchy.dram_accesses()
+
+    def dram_breakdown(self) -> dict[ArrayId, int]:
+        return self.hierarchy.dram_breakdown()
+
+    def energy(self) -> EnergyReport:
+        return self.energy_model.report(self.hierarchy, self.total_compute_cycles)

@@ -1,0 +1,86 @@
+"""Betweenness centrality against an independent Brandes implementation."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bc import BetweennessCentrality
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def reference_dependencies(hypergraph, source: int) -> np.ndarray:
+    """Brandes on the bipartite graph; hyperedge nodes are not endpoints.
+
+    Nodes are ('v', id) and ('h', id).  delta flows back as
+    delta[pred] += sigma[pred]/sigma[w] * (endpoint(w) + delta[w]) where
+    endpoint(w) is 1 for vertex nodes and 0 for hyperedge nodes.
+    """
+    def neighbors(node):
+        kind, idx = node
+        if kind == "v":
+            return [("h", int(h)) for h in hypergraph.incident_hyperedges(idx)]
+        return [("v", int(v)) for v in hypergraph.incident_vertices(idx)]
+
+    start = ("v", source)
+    dist = {start: 0}
+    sigma = {start: 1.0}
+    order = []
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for nxt in neighbors(node):
+            if nxt not in dist:
+                dist[nxt] = dist[node] + 1
+                sigma[nxt] = 0.0
+                queue.append(nxt)
+            if dist[nxt] == dist[node] + 1:
+                sigma[nxt] += sigma[node]
+    delta = {node: 0.0 for node in order}
+    for node in reversed(order):
+        for nxt in neighbors(node):
+            if nxt in dist and dist[nxt] == dist[node] + 1:
+                endpoint = 1.0 if nxt[0] == "v" else 0.0
+                delta[node] += sigma[node] / sigma[nxt] * (endpoint + delta[nxt])
+    result = np.zeros(hypergraph.num_vertices)
+    for (kind, idx), value in delta.items():
+        if kind == "v":
+            result[idx] = value
+    return result
+
+
+@pytest.mark.parametrize("source", [0, 2, 5])
+def test_figure1_matches_reference(figure1, source):
+    run = HygraEngine().run(BetweennessCentrality(source=source), figure1)
+    expected = reference_dependencies(figure1, source)
+    assert np.allclose(run.result, expected)
+
+
+def test_small_hypergraph_matches_reference(small_hypergraph):
+    run = HygraEngine().run(BetweennessCentrality(source=1), small_hypergraph)
+    expected = reference_dependencies(small_hypergraph, 1)
+    assert np.allclose(run.result, expected)
+
+
+def test_path_hypergraph_center_dominates():
+    """On a path v0-h0-v1-h1-v2, the middle vertex carries all dependency."""
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1], [1, 2]])
+    run = HygraEngine().run(BetweennessCentrality(source=0), hypergraph)
+    assert run.result[1] > run.result[2] >= 0
+
+
+def test_isolated_source():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=3)
+    run = HygraEngine().run(BetweennessCentrality(source=2), hypergraph)
+    assert np.allclose(run.result, 0.0)
+
+
+def test_unreachable_vertices_zero():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1], [2, 3]])
+    run = HygraEngine().run(BetweennessCentrality(source=0), hypergraph)
+    assert run.result[2] == 0.0
+    assert run.result[3] == 0.0

@@ -1,0 +1,78 @@
+"""BFS correctness against networkx on the bipartite representation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import Bfs
+from repro.engine.hygra import HygraEngine
+
+
+def bipartite_graph(hypergraph) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(f"v{v}" for v in range(hypergraph.num_vertices))
+    graph.add_nodes_from(f"h{h}" for h in range(hypergraph.num_hyperedges))
+    for h in range(hypergraph.num_hyperedges):
+        for v in hypergraph.incident_vertices(h):
+            graph.add_edge(f"h{h}", f"v{int(v)}")
+    return graph
+
+
+def reference_distances(hypergraph, source: int) -> np.ndarray:
+    lengths = nx.single_source_shortest_path_length(
+        bipartite_graph(hypergraph), f"v{source}"
+    )
+    distances = np.full(hypergraph.num_vertices, np.inf)
+    for node, dist in lengths.items():
+        if node.startswith("v"):
+            distances[int(node[1:])] = dist
+    return distances
+
+
+def test_figure1_distances(figure1):
+    result = HygraEngine().run(Bfs(source=0), figure1)
+    assert np.array_equal(result.result, reference_distances(figure1, 0))
+
+
+def test_small_hypergraph_distances(small_hypergraph):
+    result = HygraEngine().run(Bfs(source=3), small_hypergraph)
+    assert np.array_equal(result.result, reference_distances(small_hypergraph, 3))
+
+
+def test_unreached_vertices_infinite(figure1):
+    # v5 is only in h1; from v0 it is reachable, but an isolated vertex in a
+    # padded hypergraph is not.
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    padded = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=4)
+    result = HygraEngine().run(Bfs(source=0), padded)
+    assert result.result[0] == 0
+    assert result.result[1] == 2  # one hyperedge hop = two bipartite hops
+    assert np.isinf(result.result[2])
+    assert np.isinf(result.result[3])
+
+
+def test_source_distance_zero(small_hypergraph):
+    result = HygraEngine().run(Bfs(source=0), small_hypergraph)
+    assert result.result[0] == 0
+
+
+def test_distances_even(small_hypergraph):
+    """Vertex distances count bipartite hops, so they are always even."""
+    result = HygraEngine().run(Bfs(source=0), small_hypergraph)
+    finite = result.result[np.isfinite(result.result)]
+    assert np.all(finite % 2 == 0)
+
+
+def test_hyperedge_distances_odd(figure1):
+    result = HygraEngine().run(Bfs(source=0), figure1)
+    finite = result.hyperedge_values[np.isfinite(result.hyperedge_values)]
+    assert np.all(finite % 2 == 1)
+
+
+@pytest.mark.parametrize("source", [0, 1, 5])
+def test_multiple_sources(figure1, source):
+    result = HygraEngine().run(Bfs(source=source), figure1)
+    assert np.array_equal(result.result, reference_distances(figure1, source))

@@ -1,0 +1,62 @@
+"""Connected components against networkx on the clique expansion."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.cc import ConnectedComponents
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def components_match_networkx(hypergraph) -> bool:
+    result = HygraEngine().run(ConnectedComponents(), hypergraph)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(hypergraph.num_vertices))
+    graph.add_edges_from(hypergraph.clique_expansion())
+    for component in nx.connected_components(graph):
+        labels = {result.result[v] for v in component}
+        if len(labels) != 1:
+            return False
+        # The label is the component's minimum vertex id.
+        if labels != {float(min(component))}:
+            return False
+    return True
+
+
+def test_figure1_single_component(figure1):
+    assert components_match_networkx(figure1)
+    result = HygraEngine().run(ConnectedComponents(), figure1)
+    assert np.all(result.result == 0.0)
+
+
+def test_two_components():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1, 2], [3, 4]])
+    result = HygraEngine().run(ConnectedComponents(), hypergraph)
+    assert list(result.result) == [0, 0, 0, 3, 3]
+
+
+def test_isolated_vertex_own_component():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=3)
+    result = HygraEngine().run(ConnectedComponents(), hypergraph)
+    assert result.result[2] == 2.0
+
+
+def test_small_hypergraph(small_hypergraph):
+    assert components_match_networkx(small_hypergraph)
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=24), min_size=1, max_size=5),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_random_hypergraphs_match_networkx(hyperedges):
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=25)
+    assert components_match_networkx(hypergraph)

@@ -1,0 +1,107 @@
+"""Ordinary-graph applications (SSSP and Adsorption, §VI-I)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.graph import Adsorption, Sssp
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.generators import two_uniform_graph
+
+
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]
+
+
+@pytest.fixture
+def ring_graph():
+    return two_uniform_graph(EDGES, num_vertices=5)
+
+
+def test_sssp_matches_networkx(ring_graph):
+    run = HygraEngine().run(Sssp(source=0), ring_graph)
+    graph = nx.Graph(EDGES)
+    lengths = nx.single_source_shortest_path_length(graph, 0)
+    # Crossing one hyperedge (= one graph edge) costs 1.
+    for v, expected in lengths.items():
+        assert run.result[v] == expected
+
+
+def test_sssp_unreachable():
+    graph = two_uniform_graph([(0, 1)], num_vertices=3)
+    run = HygraEngine().run(Sssp(source=0), graph)
+    assert np.isinf(run.result[2])
+
+
+def test_sssp_on_general_hypergraph(figure1):
+    """SSSP generalizes to non-2-uniform hypergraphs (distance through any
+    hyperedge costs one hop per bipartite edge)."""
+    run = HygraEngine().run(Sssp(source=0), figure1)
+    assert run.result[0] == 0
+    assert run.result[4] == 1  # shares h0 with v0
+
+
+def test_adsorption_converges_and_bounded(ring_graph):
+    run = HygraEngine().run(Adsorption(iterations=8, beta=0.2, seed=1), ring_graph)
+    assert np.all(np.isfinite(run.result))
+    assert np.all(run.result >= 0)
+    assert run.iterations == 8
+
+
+def test_adsorption_deterministic(ring_graph):
+    a = HygraEngine().run(Adsorption(iterations=4, seed=3), ring_graph)
+    b = HygraEngine().run(Adsorption(iterations=4, seed=3), ring_graph)
+    assert np.array_equal(a.result, b.result)
+
+
+def test_adsorption_beta_one_keeps_seeds(ring_graph):
+    """With beta=1 every vertex keeps exactly its injected seed score."""
+    algo = Adsorption(iterations=3, beta=1.0, seed=5)
+    run = HygraEngine().run(algo, ring_graph)
+    seeds = np.random.default_rng(5).random(ring_graph.num_vertices)
+    assert np.allclose(run.result, seeds)
+
+
+def test_adsorption_isolated_vertex_keeps_seed():
+    graph = two_uniform_graph([(0, 1)], num_vertices=3)
+    run = HygraEngine().run(Adsorption(iterations=3, beta=0.2, seed=4), graph)
+    seeds = np.random.default_rng(4).random(3)
+    assert run.result[2] == pytest.approx(seeds[2])
+
+
+def test_adsorption_dense_flag():
+    assert Adsorption().dense_frontier is True
+
+
+def test_weighted_sssp_matches_dijkstra():
+    """Weighted SSSP against networkx Dijkstra on a weighted graph."""
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)]
+    weights = [1.0, 2.0, 5.0, 1.0, 7.0]
+    graph = two_uniform_graph(edges, num_vertices=4)
+    run = HygraEngine().run(Sssp(source=0, weights=weights), graph)
+    nx_graph = nx.Graph()
+    for (u, v), w in zip(edges, weights):
+        nx_graph.add_edge(u, v, weight=w)
+    lengths = nx.single_source_dijkstra_path_length(nx_graph, 0)
+    for v, expected in lengths.items():
+        assert run.result[v] == pytest.approx(expected)
+
+
+def test_weighted_sssp_rejects_negative():
+    with pytest.raises(ValueError):
+        Sssp(weights=[1.0, -2.0])
+
+
+def test_weighted_sssp_rejects_wrong_length():
+    graph = two_uniform_graph([(0, 1), (1, 2)])
+    with pytest.raises(ValueError):
+        HygraEngine().run(Sssp(source=0, weights=[1.0]), graph)
+
+
+def test_weighted_sssp_on_hypergraph(figure1):
+    """Weights generalise to real hypergraphs: cheap h0 vs expensive h2."""
+    weights = np.array([0.5, 1.0, 10.0, 1.0])
+    run = HygraEngine().run(Sssp(source=0, weights=weights), figure1)
+    # v4 is in both h0 (0.5) and h2 (10.0): the cheap hyperedge wins.
+    assert run.result[4] == pytest.approx(0.5)

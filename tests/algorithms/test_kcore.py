@@ -1,0 +1,97 @@
+"""k-core decomposition against an independent peeling implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.kcore import KCore
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def reference_coreness(hypergraph) -> np.ndarray:
+    """Straightforward peeling: same rules, direct implementation.
+
+    A hyperedge connects only while >= 2 members survive; a vertex's degree
+    counts surviving connecting hyperedges; round k removes (cascading)
+    every vertex with degree < k, assigning coreness k - 1.
+    """
+    nv, nh = hypergraph.num_vertices, hypergraph.num_hyperedges
+    members = {h: set(map(int, hypergraph.incident_vertices(h))) for h in range(nh)}
+    alive_e = {h for h in range(nh) if len(members[h]) >= 2}
+    degree = np.zeros(nv)
+    for h in alive_e:
+        for v in members[h]:
+            degree[v] += 1
+    alive_v = set(range(nv))
+    coreness = np.full(nv, -1.0)
+    k = 1
+    while alive_v:
+        doomed = [v for v in alive_v if degree[v] < k]
+        if not doomed:
+            k = max(k + 1, int(min(degree[v] for v in alive_v)) + 1)
+            continue
+        while doomed:
+            v = doomed.pop()
+            if v not in alive_v:
+                continue
+            alive_v.discard(v)
+            coreness[v] = k - 1
+            for h in list(map(int, hypergraph.incident_hyperedges(v))):
+                if h not in alive_e:
+                    continue
+                members[h].discard(v)
+                if len(members[h]) < 2:
+                    alive_e.discard(h)
+                    for u in members[h]:
+                        if u in alive_v:
+                            degree[u] -= 1
+                            if degree[u] < k:
+                                doomed.append(u)
+    return coreness
+
+
+def test_figure1_coreness(figure1):
+    run = HygraEngine().run(KCore(), figure1)
+    assert np.array_equal(run.result, reference_coreness(figure1))
+
+
+def test_small_hypergraph_coreness(small_hypergraph):
+    run = HygraEngine().run(KCore(), small_hypergraph)
+    assert np.array_equal(run.result, reference_coreness(small_hypergraph))
+
+
+def test_isolated_vertex_coreness_zero():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=3)
+    run = HygraEngine().run(KCore(), hypergraph)
+    assert run.result[2] == 0.0
+
+
+def test_all_vertices_assigned(small_hypergraph):
+    run = HygraEngine().run(KCore(), small_hypergraph)
+    assert np.all(run.result >= 0)
+
+
+def test_dense_core_has_higher_coreness():
+    # A 4-clique of hyperedges plus a pendant vertex.
+    hypergraph = Hypergraph.from_hyperedge_lists(
+        [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3], [3, 4]]
+    )
+    run = HygraEngine().run(KCore(), hypergraph)
+    assert run.result[4] < run.result[0]
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=14), min_size=2, max_size=4),
+        min_size=1,
+        max_size=14,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_random_hypergraphs_match_reference(hyperedges):
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=15)
+    run = HygraEngine().run(KCore(), hypergraph)
+    assert np.array_equal(run.result, reference_coreness(hypergraph))

@@ -1,0 +1,81 @@
+"""Maximal independent set: independence and maximality invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.mis import EXCLUDED, IN_SET, MaximalIndependentSet, UNDECIDED
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def check_mis(hypergraph, result) -> None:
+    """Independence + maximality over the clique expansion."""
+    in_set = {int(v) for v in np.flatnonzero(result.result == IN_SET)}
+    adjacency = {v: set() for v in range(hypergraph.num_vertices)}
+    for u, w in hypergraph.clique_expansion():
+        adjacency[u].add(w)
+        adjacency[w].add(u)
+    # Independence: no two set members are clique-adjacent.
+    for v in in_set:
+        assert not (adjacency[v] & in_set), f"vertex {v} conflicts"
+    # Maximality: every non-member has a member neighbor.
+    for v in range(hypergraph.num_vertices):
+        if v not in in_set:
+            assert adjacency[v] & in_set, f"vertex {v} could be added"
+    # Nothing left undecided.
+    assert not np.any(result.result == UNDECIDED)
+
+
+def test_figure1_mis(figure1):
+    result = HygraEngine().run(MaximalIndependentSet(seed=1), figure1)
+    check_mis(figure1, result)
+
+
+def test_small_hypergraph_mis(small_hypergraph):
+    result = HygraEngine().run(MaximalIndependentSet(seed=7), small_hypergraph)
+    check_mis(small_hypergraph, result)
+
+
+def test_isolated_vertices_always_in_set():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=4)
+    result = HygraEngine().run(MaximalIndependentSet(seed=2), hypergraph)
+    assert result.result[2] == IN_SET
+    assert result.result[3] == IN_SET
+
+
+def test_deterministic_given_seed(figure1):
+    a = HygraEngine().run(MaximalIndependentSet(seed=5), figure1)
+    b = HygraEngine().run(MaximalIndependentSet(seed=5), figure1)
+    assert np.array_equal(a.result, b.result)
+
+
+def test_different_seeds_may_differ(small_hypergraph):
+    results = set()
+    for seed in range(6):
+        run = HygraEngine().run(MaximalIndependentSet(seed=seed), small_hypergraph)
+        results.add(tuple(run.result))
+    assert len(results) > 1  # the set genuinely depends on priorities
+
+
+def test_status_values_partition(figure1):
+    result = HygraEngine().run(MaximalIndependentSet(seed=3), figure1)
+    assert set(np.unique(result.result)) <= {IN_SET, EXCLUDED}
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=19), min_size=2, max_size=5),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_hypergraphs_valid_mis(hyperedges, seed):
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=20)
+    result = HygraEngine().run(MaximalIndependentSet(seed=seed), hypergraph)
+    check_mis(hypergraph, result)

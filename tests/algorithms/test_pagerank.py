@@ -1,0 +1,92 @@
+"""PageRank semantics tests (Algorithm 1, Lines 15-21)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.engine.hygra import HygraEngine
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def test_single_iteration_hand_computed():
+    """Two vertices, one hyperedge: exact closed form for one iteration.
+
+    HF: h.val = v0/1 + v1/1 = 1.0 (initial values are 1/|V| = 0.5 each).
+    VF: v.val = (1-a)/(2*1) + a*h.val/2 for each vertex.
+    """
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]])
+    result = HygraEngine().run(PageRank(iterations=1, alpha=0.85), hypergraph)
+    expected_h = 1.0
+    expected_v = (1 - 0.85) / 2 + 0.85 * expected_h / 2
+    assert result.hyperedge_values[0] == pytest.approx(expected_h)
+    assert np.allclose(result.result, expected_v)
+
+
+def test_symmetry(figure1):
+    """Vertices with identical incidence get identical ranks."""
+    # v1 and v3 are both in exactly h1 and h3.
+    result = HygraEngine().run(PageRank(iterations=5), figure1)
+    assert result.result[1] == pytest.approx(result.result[3])
+
+
+def test_ranks_positive_and_finite(small_hypergraph):
+    result = HygraEngine().run(PageRank(iterations=4), small_hypergraph)
+    assert np.all(np.isfinite(result.result))
+    assert np.all(result.result > 0)
+
+
+def test_iterations_respected(figure1):
+    result = HygraEngine().run(PageRank(iterations=3), figure1)
+    assert result.iterations == 3
+
+
+def test_invalid_iterations():
+    with pytest.raises(ValueError):
+        PageRank(iterations=0)
+
+
+def test_higher_degree_vertices_rank_higher(figure1):
+    """v5 (degree 1) should rank below the degree-2 vertices it neighbors."""
+    result = HygraEngine().run(PageRank(iterations=10), figure1)
+    assert result.result[5] < result.result[1]
+
+
+def test_isolated_vertex_keeps_mass():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=3)
+    result = HygraEngine().run(PageRank(iterations=3), hypergraph)
+    assert result.result[2] == pytest.approx(1.0 / 3.0)
+
+
+def test_dense_frontier_flag():
+    assert PageRank().dense_frontier is True
+
+
+def test_matches_matrix_power_iteration(small_hypergraph):
+    """The HF/VF formulation equals the closed matrix recurrence.
+
+    One iteration in matrix form, with B the |H| x |V| incidence matrix
+    and D the degree diagonals: h = B D_v^{-1} v, then
+    v' = deg_v * (1-a)/(|V| deg_v) + a * B^T D_h^{-1} h — the addend is
+    applied once per VF call, i.e. deg_v times per vertex.  Running the
+    recurrence directly with numpy must reproduce the engine's vector.
+    """
+    hg = small_hypergraph
+    nv, nh = hg.num_vertices, hg.num_hyperedges
+    alpha = 0.85
+    incidence = np.zeros((nh, nv))
+    for h in range(nh):
+        incidence[h, hg.incident_vertices(h)] = 1.0
+    deg_v = incidence.sum(axis=0)
+    deg_h = incidence.sum(axis=1)
+    v = np.full(nv, 1.0 / nv)
+    iterations = 4
+    for _ in range(iterations):
+        h_val = incidence @ (v / np.where(deg_v > 0, deg_v, 1.0))
+        addend = (1 - alpha) / (nv * np.where(deg_v > 0, deg_v, 1.0))
+        gather = incidence.T @ (h_val / np.where(deg_h > 0, deg_h, 1.0))
+        v_new = deg_v * addend + alpha * gather
+        v = np.where(deg_v > 0, v_new, v)
+    run = HygraEngine().run(PageRank(iterations=iterations), hg)
+    assert np.allclose(run.result, v)

@@ -1,0 +1,44 @@
+"""Tests for the §VI-E area/power accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chgraph.area import area_report
+from repro.sim.config import SystemConfig, scaled_config
+
+
+def test_buffer_sizes_match_paper():
+    report = area_report()
+    # Stack: 16 x (4 + 4 + 4 + 64) B = 1216 B = 1.19 KB.
+    assert report.stack_bytes == 1216
+    # Chain FIFO: 32 x 4 B = 128 B = 0.13 KB.
+    assert report.chain_fifo_bytes == 128
+    # Bipartite-edge FIFO: 32 x 24 B = 768 B = 0.75 KB.
+    assert report.tuple_fifo_bytes == 768
+    assert report.register_bytes == 84
+
+
+def test_headline_area_and_power():
+    report = area_report()
+    # Paper: 0.094 mm2 and 61 mW at 65 nm.
+    assert report.total_mm2 == pytest.approx(0.094, abs=0.004)
+    assert report.total_mw == pytest.approx(61.0, abs=2.0)
+
+
+def test_fractions_match_paper():
+    report = area_report()
+    assert report.area_fraction_of_core == pytest.approx(0.0026, abs=0.0002)
+    assert report.power_fraction_of_core == pytest.approx(0.0019, abs=0.0002)
+
+
+def test_area_scales_with_buffers():
+    small = area_report(scaled_config().replace(stack_depth=8))
+    default = area_report(scaled_config())
+    assert small.stack_bytes < default.stack_bytes
+    assert small.total_mm2 < default.total_mm2
+
+
+def test_buffer_total():
+    report = area_report()
+    assert report.buffer_bytes == 1216 + 128 + 768 + 84

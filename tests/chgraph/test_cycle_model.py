@@ -1,0 +1,136 @@
+"""Tests for the cycle-level ChGraph timing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chgraph.cycle_model import (
+    ChainMicroOp,
+    SELECT,
+    record_hcg_microops,
+    simulate_phase,
+)
+from repro.core.oag import build_oag
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture
+def setup(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    ops = record_hcg_microops(np.ones(4, dtype=bool), oag)
+    return figure1, ops
+
+
+def test_microops_cover_schedule(setup):
+    _, ops = setup
+    selects = [op for op in ops if op.kind == SELECT]
+    assert [op.element for op in selects] == [0, 2, 1, 3]  # the paper chain
+
+
+def test_all_tuples_delivered(setup):
+    figure1, ops = setup
+    stats = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 5.0, cp_latency=lambda: 20.0,
+    )
+    assert stats.tuples == figure1.num_bipartite_edges
+
+
+def test_total_bounds_components(setup):
+    figure1, ops = setup
+    stats = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 5.0, cp_latency=lambda: 20.0,
+    )
+    assert stats.total_cycles >= stats.hcg_busy_until
+    assert stats.total_cycles >= stats.cp_busy_until
+    assert stats.total_cycles >= stats.core_busy_cycles
+    assert stats.core_stalled_cycles >= 0
+
+
+def test_fifo_peaks_bounded(setup):
+    figure1, ops = setup
+    config = scaled_config()
+    stats = simulate_phase(
+        ops, figure1, "hyperedge", config,
+        hcg_latency=lambda: 5.0, cp_latency=lambda: 20.0,
+    )
+    assert stats.chain_fifo_peak <= config.chain_fifo_depth
+    assert stats.tuple_fifo_peak <= config.tuple_fifo_depth
+
+
+def test_tiny_tuple_fifo_throttles_cp(setup):
+    """A 1-deep tuple FIFO serializes CP and core: runtime grows."""
+    figure1, ops = setup
+    wide = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 5.0, cp_latency=lambda: 40.0,
+    )
+    narrow = simulate_phase(
+        ops, figure1, "hyperedge",
+        scaled_config().replace(tuple_fifo_depth=1, chain_fifo_depth=1),
+        hcg_latency=lambda: 5.0, cp_latency=lambda: 40.0,
+    )
+    assert narrow.total_cycles >= wide.total_cycles
+    assert narrow.tuple_fifo_peak == 1
+
+
+def test_slow_memory_stalls_core(setup):
+    figure1, ops = setup
+    fast = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 1.0, cp_latency=lambda: 1.0,
+    )
+    slow = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 1.0, cp_latency=lambda: 300.0,
+    )
+    assert slow.core_stalled_cycles > fast.core_stalled_cycles
+    assert slow.total_cycles > fast.total_cycles
+
+
+def test_mlp_slots_matter(setup):
+    """More MSHR slots overlap more prefetch latency."""
+    figure1, ops = setup
+    few = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config().replace(engine_mlp=1.0),
+        hcg_latency=lambda: 1.0, cp_latency=lambda: 100.0,
+    )
+    many = simulate_phase(
+        ops, figure1, "hyperedge", scaled_config().replace(engine_mlp=16.0),
+        hcg_latency=lambda: 1.0, cp_latency=lambda: 100.0,
+    )
+    assert many.total_cycles < few.total_cycles
+
+
+def test_core_bound_when_memory_free(setup):
+    """With ~zero memory latency the phase is Apply-throughput bound."""
+    figure1, ops = setup
+    config = scaled_config()
+    stats = simulate_phase(
+        ops, figure1, "hyperedge", config,
+        hcg_latency=lambda: 0.0, cp_latency=lambda: 0.0,
+    )
+    floor = stats.tuples * (config.apply_cycles + config.fifo_pop_cycles)
+    assert stats.total_cycles >= floor
+    assert stats.core_utilization > 0.5
+
+
+def test_empty_schedule():
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    empty = Hypergraph.from_hyperedge_lists([], num_vertices=0)
+    stats = simulate_phase(
+        [], empty, "hyperedge", scaled_config(),
+        hcg_latency=lambda: 1.0, cp_latency=lambda: 1.0,
+    )
+    assert stats.tuples == 0
+    assert stats.total_cycles == 0.0
+
+
+def test_dense_root_scans_skip_memory():
+    op_dense = ChainMicroOp("root_scan", 0)
+    op_sparse = ChainMicroOp("root_scan", 1)
+    assert op_dense.memory_accesses == 0
+    assert op_sparse.memory_accesses == 1

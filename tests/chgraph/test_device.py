@@ -1,0 +1,113 @@
+"""Tests for the programmer-visible ChGraph device (ISA shims)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chgraph.engine import ChGraphConfigRegisters, ChGraphDevice
+from repro.core.oag import build_oag
+from repro.core.tuples import END_OF_CHAINS
+from repro.errors import ConfigurationError
+from repro.sim.config import scaled_config
+
+
+def make_registers(figure1, phase_label=0):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    return ChGraphConfigRegisters(
+        phase_label=phase_label,
+        hypergraph=figure1,
+        bitmap=np.ones(4, dtype=bool),
+        chunk_first=0,
+        chunk_last=4,
+        oag=oag,
+    )
+
+
+def test_fetch_before_configure_raises():
+    device = ChGraphDevice(scaled_config())
+    with pytest.raises(ConfigurationError):
+        device.ch_fetch_bipartite_edge()
+
+
+def test_tuple_stream_follows_chain_order(figure1):
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(make_registers(figure1))
+    tuples = device.drain()
+    # Vertex computation: hyperedges scheduled in chain order <h0,h2,h1,h3>.
+    sources = []
+    for entry in tuples:
+        if not sources or sources[-1] != entry.src:
+            sources.append(entry.src)
+    assert sources == [0, 2, 1, 3]
+    assert len(tuples) == figure1.num_bipartite_edges
+
+
+def test_sentinel_after_drain(figure1):
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(make_registers(figure1))
+    device.drain()
+    assert device.ch_fetch_bipartite_edge() == END_OF_CHAINS
+
+
+def test_hyperedge_phase_schedules_vertices(figure1):
+    oag = build_oag(figure1, "vertex", w_min=1)
+    registers = ChGraphConfigRegisters(
+        phase_label=1,
+        hypergraph=figure1,
+        bitmap=np.ones(7, dtype=bool),
+        chunk_first=0,
+        chunk_last=7,
+        oag=oag,
+    )
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(registers)
+    tuples = device.drain()
+    assert len(tuples) == figure1.num_bipartite_edges
+    assert {t.src for t in tuples} == set(range(7))
+
+
+def test_inactive_elements_not_streamed(figure1):
+    registers = make_registers(figure1)
+    registers.bitmap[1] = False  # h1 inactive
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(registers)
+    tuples = device.drain()
+    assert 1 not in {t.src for t in tuples}
+
+
+def test_register_validation(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    with pytest.raises(ConfigurationError):
+        ChGraphConfigRegisters(
+            phase_label=2,  # invalid label
+            hypergraph=figure1,
+            bitmap=np.ones(4, dtype=bool),
+            chunk_first=0,
+            chunk_last=4,
+            oag=oag,
+        )
+    with pytest.raises(ConfigurationError):
+        ChGraphConfigRegisters(
+            phase_label=0,
+            hypergraph=figure1,
+            bitmap=np.ones(3, dtype=bool),  # wrong bitmap size
+            chunk_first=0,
+            chunk_last=4,
+            oag=oag,
+        )
+
+
+def test_fresh_src_flags(figure1):
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(make_registers(figure1))
+    tuples = device.drain()
+    fresh = [t for t in tuples if t.fresh_src]
+    assert len(fresh) == 4  # one per scheduled hyperedge
+
+
+def test_fifo_occupancy_bounded(figure1):
+    device = ChGraphDevice(scaled_config())
+    device.ch_configure(make_registers(figure1))
+    device.drain()
+    assert device.tuple_fifo.max_occupancy <= device.tuple_fifo.depth

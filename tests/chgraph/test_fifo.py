@@ -1,0 +1,108 @@
+"""Tests for the bounded hardware FIFO."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chgraph.fifo import BoundedFifo
+from repro.errors import FifoError
+
+
+def test_push_pop_fifo_order():
+    fifo = BoundedFifo(4)
+    fifo.push(1)
+    fifo.push(2)
+    assert fifo.pop() == 1
+    assert fifo.pop() == 2
+
+
+def test_full_and_empty_flags():
+    fifo = BoundedFifo(2)
+    assert fifo.is_empty
+    fifo.push("a")
+    fifo.push("b")
+    assert fifo.is_full
+    assert len(fifo) == 2
+
+
+def test_try_push_stalls_when_full():
+    fifo = BoundedFifo(1)
+    assert fifo.try_push(1)
+    assert not fifo.try_push(2)
+    assert fifo.push_stalls == 1
+    assert len(fifo) == 1
+
+
+def test_push_raises_on_overflow():
+    fifo = BoundedFifo(1)
+    fifo.push(1)
+    with pytest.raises(FifoError):
+        fifo.push(2)
+
+
+def test_try_pop_stalls_when_empty():
+    fifo = BoundedFifo(2)
+    ok, entry = fifo.try_pop()
+    assert not ok and entry is None
+    assert fifo.pop_stalls == 1
+
+
+def test_pop_raises_on_empty():
+    with pytest.raises(FifoError):
+        BoundedFifo(2).pop()
+
+
+def test_peek():
+    fifo = BoundedFifo(2)
+    fifo.push(7)
+    assert fifo.peek() == 7
+    assert len(fifo) == 1
+    with pytest.raises(FifoError):
+        BoundedFifo(2).peek()
+
+
+def test_max_occupancy_tracked():
+    fifo = BoundedFifo(4)
+    fifo.push(1)
+    fifo.push(2)
+    fifo.pop()
+    fifo.push(3)
+    assert fifo.max_occupancy == 2
+
+
+def test_storage_bytes():
+    # The paper's chain FIFO: 32 x 4 B = 128 B; tuple FIFO: 32 x 24 B.
+    assert BoundedFifo(32, entry_bytes=4).storage_bytes() == 128
+    assert BoundedFifo(32, entry_bytes=24).storage_bytes() == 768
+
+
+def test_zero_depth_rejected():
+    with pytest.raises(FifoError):
+        BoundedFifo(0)
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_fifo_matches_reference_queue(operations):
+    from collections import deque
+
+    fifo = BoundedFifo(8)
+    reference: deque[int] = deque()
+    counter = 0
+    for op in operations:
+        if op == "push":
+            expected = len(reference) < 8
+            pushed = fifo.try_push(counter)
+            assert pushed == expected
+            if pushed:
+                reference.append(counter)
+            counter += 1
+        else:
+            ok, entry = fifo.try_pop()
+            if reference:
+                assert ok and entry == reference.popleft()
+            else:
+                assert not ok
+        assert len(fifo) == len(reference) <= 8

@@ -1,0 +1,60 @@
+"""Tests for the chain-driven prefetcher cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chgraph.prefetcher import ChainPrefetcher, CpCost
+from repro.engine.base import PHASE_SPECS
+from repro.sim.config import scaled_config
+from repro.sim.hierarchy import MemoryHierarchy
+
+
+def _null_access(core, array, index):
+    return 0
+
+
+def test_prefetch_request_counts(figure1):
+    cp = ChainPrefetcher(scaled_config())
+    spec = PHASE_SPECS["vertex"]  # scheduled side: hyperedges
+    cost = cp.prefetch([0, 2], figure1, spec, core=0, access=_null_access)
+    # Per element: 2 offset + 1 src value; per edge: incident + dst value.
+    edges = figure1.hyperedge_degree(0) + figure1.hyperedge_degree(2)
+    assert cost.tuples == edges
+    assert cost.requests == 2 * 3 + 2 * edges
+    # One beat per element acquisition plus one per tuple.
+    assert cost.beats == 2 + edges
+
+
+def test_prefetch_element_accumulates(figure1):
+    cp = ChainPrefetcher(scaled_config())
+    spec = PHASE_SPECS["vertex"]
+    cost = CpCost()
+    cp.prefetch_element(0, figure1, spec, 0, _null_access, cost)
+    first = cost.requests
+    cp.prefetch_element(2, figure1, spec, 0, _null_access, cost)
+    assert cost.requests > first
+
+
+def test_engine_cycles_formula():
+    cost = CpCost(beats=10, overlapped_latency=80.0)
+    assert cost.engine_cycles(stage_cycles=2.0, engine_mlp=8.0) == pytest.approx(30.0)
+
+
+def test_prefetch_fills_l2(figure1):
+    config = scaled_config(num_cores=2, llc_kb=2)
+    hierarchy = MemoryHierarchy(config)
+    cp = ChainPrefetcher(config)
+    spec = PHASE_SPECS["vertex"]
+    cost = cp.prefetch([0], figure1, spec, core=0, access=hierarchy.engine_access)
+    assert cost.overlapped_latency > 0
+    assert hierarchy.dram_accesses() > 0
+    assert hierarchy.l1[0].stats.accesses == 0  # CP never touches the L1
+
+
+def test_hyperedge_phase_spec(figure1):
+    """During hyperedge computation the scheduled side is vertices."""
+    cp = ChainPrefetcher(scaled_config())
+    spec = PHASE_SPECS["hyperedge"]
+    cost = cp.prefetch([0], figure1, spec, core=0, access=_null_access)
+    assert cost.tuples == figure1.vertex_degree(0)

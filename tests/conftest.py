@@ -1,0 +1,57 @@
+"""Shared fixtures: the paper's running example and small test systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import AffiliationConfig, generate_affiliation_hypergraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+
+@pytest.fixture
+def figure1() -> Hypergraph:
+    """The paper's Figure 1 hypergraph: 7 vertices, 4 hyperedges.
+
+    h0 = {v0, v4, v6}, h1 = {v1, v2, v3, v5}, h2 = {v0, v2, v4},
+    h3 = {v1, v3, v6}.  Its H-OAG (Figure 11) and maximal-overlap chain
+    <h0, h2, h1, h3> (Figure 1(b)) are worked examples in the paper.
+    """
+    return Hypergraph.from_hyperedge_lists(
+        [
+            [0, 4, 6],
+            [1, 2, 3, 5],
+            [0, 2, 4],
+            [1, 3, 6],
+        ],
+        num_vertices=7,
+        name="figure1",
+    )
+
+
+@pytest.fixture
+def small_hypergraph() -> Hypergraph:
+    """A deterministic ~200-element hypergraph with real overlap structure."""
+    config = AffiliationConfig(
+        num_vertices=160,
+        num_hyperedges=120,
+        mean_hyperedge_degree=10.0,
+        min_hyperedge_degree=4,
+        num_communities=8,
+        overlap_bias=0.9,
+        vertex_run=8,
+        seed=5,
+    )
+    return generate_affiliation_hypergraph(config, name="small")
+
+
+@pytest.fixture
+def tiny_system() -> SimulatedSystem:
+    """A 4-core scaled system: fast to simulate, small enough to miss."""
+    return SimulatedSystem(scaled_config(num_cores=4, llc_kb=2))
+
+
+def make_system(num_cores: int = 4, llc_kb: int = 2) -> SimulatedSystem:
+    """Helper for tests needing several fresh systems."""
+    return SimulatedSystem(scaled_config(num_cores=num_cores, llc_kb=llc_kb))

@@ -1,0 +1,194 @@
+"""Tests for chain generation (Algorithm 3), anchored on Figure 1(b)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import ChainGenerator, ChainProbe, DEFAULT_D_MAX
+from repro.core.oag import build_oag
+from repro.hypergraph.generators import (
+    AffiliationConfig,
+    generate_affiliation_hypergraph,
+    planted_chain_hypergraph,
+)
+
+
+def test_paper_chain_figure1(figure1):
+    """The worked example: the chain rooted at h0 is <h0, h2, h1, h3>."""
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag)
+    assert chains.chains[0] == [0, 2, 1, 3]
+    assert chains.num_chains == 1
+
+
+def test_paper_vertex_chain_figure1(figure1):
+    """Figure 1(b)'s vertex chain: <v5, v1, v3, v6, v0, v4, v2>.
+
+    Our generator roots at the minimal active index (v0) rather than v5, so
+    the chain differs from the figure's rooting, but the greedy
+    maximal-weight stepping is the same; verify the weights decrease along
+    each generated chain's steps where alternatives existed.
+    """
+    oag = build_oag(figure1, "vertex", w_min=1)
+    chains = ChainGenerator().generate(np.ones(7, dtype=bool), oag)
+    assert chains.num_elements == 7
+
+
+def test_planted_chain_recovered():
+    hypergraph = planted_chain_hypergraph(8, overlap=3, fresh=2)
+    oag = build_oag(hypergraph, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(8, dtype=bool), oag)
+    assert chains.chains[0] == list(range(8))
+
+
+def test_coverage_with_partial_frontier(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    active = np.array([True, False, True, False])
+    chains = ChainGenerator().generate(active, oag)
+    scheduled = [e for chain in chains for e in chain]
+    assert sorted(scheduled) == [0, 2]
+    # h0 -> h2 still chains (their overlap edge survives).
+    assert chains.chains[0] == [0, 2]
+
+
+def test_inactive_neighbors_skipped(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    active = np.array([True, True, False, True])  # h2 inactive
+    chains = ChainGenerator().generate(active, oag)
+    scheduled = [e for chain in chains for e in chain]
+    assert sorted(scheduled) == [0, 1, 3]
+    # h0's best active neighbor is now h3 (weight 1); then h3 -> h1.
+    assert chains.chains[0] == [0, 3, 1]
+
+
+def test_d_max_bounds_chain_length():
+    hypergraph = planted_chain_hypergraph(10, overlap=3, fresh=2)
+    oag = build_oag(hypergraph, "hyperedge", w_min=1)
+    chains = ChainGenerator(d_max=4).generate(np.ones(10, dtype=bool), oag)
+    assert max(len(chain) for chain in chains) == 4
+    assert chains.num_elements == 10
+
+
+def test_d_max_must_be_positive():
+    with pytest.raises(ValueError):
+        ChainGenerator(d_max=0)
+
+
+def test_default_d_max_is_paper_value():
+    assert DEFAULT_D_MAX == 16
+    assert ChainGenerator().d_max == 16
+
+
+def test_bitmap_size_mismatch(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    with pytest.raises(ValueError):
+        ChainGenerator().generate(np.ones(5, dtype=bool), oag)
+
+
+def test_input_bitmap_not_mutated(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    active = np.ones(4, dtype=bool)
+    ChainGenerator().generate(active, oag)
+    assert active.all()
+
+
+def test_chunk_offset_ids(figure1):
+    from repro.hypergraph.partition import Chunk
+
+    chunk = Chunk(core=0, first=2, last=4)
+    oag = build_oag(figure1, "hyperedge", w_min=1, chunk=chunk)
+    chains = ChainGenerator().generate(np.ones(2, dtype=bool), oag)
+    scheduled = [e for chain in chains for e in chain]
+    assert sorted(scheduled) == [2, 3]  # global ids, not chunk-local
+
+
+class _CountingProbe(ChainProbe):
+    def __init__(self):
+        self.roots = 0
+        self.offsets = 0
+        self.inspections = 0
+        self.selections = 0
+
+    def on_root_scan(self, element):
+        self.roots += 1
+
+    def on_offsets_fetch(self, node):
+        self.offsets += 1
+
+    def on_neighbor_inspect(self, node, position):
+        self.inspections += 1
+
+    def on_select(self, element):
+        self.selections += 1
+
+
+def test_probe_counts_match_stats(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    probe = _CountingProbe()
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag, probe=probe)
+    assert probe.roots == chains.root_scans == 4
+    assert probe.offsets == chains.offsets_fetches
+    assert probe.inspections == chains.neighbor_inspections
+    assert probe.selections == chains.num_elements == 4
+
+
+def test_stats_mean_length(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag)
+    assert chains.mean_length == pytest.approx(4.0)
+    assert list(chains.order()) == [0, 2, 1, 3]
+
+
+@given(
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=2, max_value=32),
+)
+@settings(max_examples=25, deadline=None)
+def test_chain_coverage_property(seed, w_min, d_max):
+    """Every active element is scheduled exactly once; inactive never."""
+    config = AffiliationConfig(
+        num_vertices=48,
+        num_hyperedges=36,
+        mean_hyperedge_degree=6.0,
+        num_communities=4,
+        seed=seed,
+    )
+    hypergraph = generate_affiliation_hypergraph(config)
+    oag = build_oag(hypergraph, "hyperedge", w_min=w_min)
+    rng = np.random.default_rng(seed)
+    active = rng.random(36) < 0.6
+    chains = ChainGenerator(d_max=d_max).generate(active, oag)
+    scheduled = [e for chain in chains for e in chain]
+    assert sorted(scheduled) == sorted(np.flatnonzero(active))
+    assert all(len(chain) <= d_max for chain in chains)
+
+
+@given(st.integers(min_value=0, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_greedy_steps_are_weight_maximal(seed):
+    """Each chain step takes the highest-weight eligible neighbor."""
+    config = AffiliationConfig(
+        num_vertices=40,
+        num_hyperedges=24,
+        mean_hyperedge_degree=6.0,
+        num_communities=3,
+        seed=seed,
+    )
+    hypergraph = generate_affiliation_hypergraph(config)
+    oag = build_oag(hypergraph, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(24, dtype=bool), oag)
+
+    visited: set[int] = set()
+    for chain in chains:
+        for current, successor in zip(chain, chain[1:]):
+            visited.add(current)
+            weights = dict(
+                zip(map(int, oag.neighbors(current)), map(int, oag.weights(current)))
+            )
+            eligible = {n: w for n, w in weights.items() if n not in visited}
+            assert eligible[successor] == max(eligible.values())
+        visited.add(chain[-1])

@@ -1,0 +1,63 @@
+"""Tests for chain-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chain import ChainGenerator
+from repro.core.metrics import chain_quality, schedule_affinity
+from repro.core.oag import build_oag
+from repro.hypergraph.generators import planted_chain_hypergraph
+
+
+def test_perfect_chain_captures_everything():
+    hypergraph = planted_chain_hypergraph(6, overlap=2, fresh=2)
+    oag = build_oag(hypergraph, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(6, dtype=bool), oag)
+    quality = chain_quality(chains, oag)
+    assert quality.num_chains == 1
+    assert quality.capture_ratio == 1.0
+    assert quality.singleton_fraction == 0.0
+    assert quality.max_length == 6
+
+
+def test_figure1_chain_quality(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag)
+    quality = chain_quality(chains, oag)
+    # The chain <h0,h2,h1,h3> walks edges of weight 2, 1, 2 out of an
+    # available total of 2+1+1+2 = 6.
+    assert quality.captured_weight == 5
+    assert quality.available_weight == 6
+    assert quality.capture_ratio == pytest.approx(5 / 6)
+
+
+def test_empty_oag_quality(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=10)
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag)
+    quality = chain_quality(chains, oag)
+    assert quality.capture_ratio == 0.0
+    assert quality.singleton_fraction == 1.0
+
+
+def test_affinity_prefers_chain_order(figure1):
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    chains = ChainGenerator().generate(np.ones(4, dtype=bool), oag)
+    chain_affinity = schedule_affinity(figure1, list(chains.order()))
+    index_affinity = schedule_affinity(figure1, [0, 1, 2, 3])
+    assert chain_affinity > index_affinity
+    # Exact values: chain pairs share 2+1+2=5 over 3 pairs; index pairs
+    # share 0+1+0=1 over 3 pairs.
+    assert chain_affinity == pytest.approx(5 / 3)
+    assert index_affinity == pytest.approx(1 / 3)
+
+
+def test_affinity_degenerate_orders(figure1):
+    assert schedule_affinity(figure1, []) == 0.0
+    assert schedule_affinity(figure1, [2]) == 0.0
+
+
+def test_affinity_vertex_side(figure1):
+    # v0 and v4 share h0 and h2.
+    assert schedule_affinity(figure1, [0, 4], side="vertex") == pytest.approx(2.0)

@@ -1,0 +1,48 @@
+"""Tests for bipartite-edge tuple loading (§IV-B)."""
+
+from __future__ import annotations
+
+from repro.core.tuples import END_OF_CHAINS, BipartiteTuple, TupleLoader
+
+
+def test_edges_of_marks_first_fresh(figure1):
+    loader = TupleLoader(figure1, "hyperedge")
+    tuples = list(loader.edges_of(0))
+    assert [t.dst for t in tuples] == [0, 4, 6]
+    assert [t.fresh_src for t in tuples] == [True, False, False]
+    assert all(t.src == 0 for t in tuples)
+
+
+def test_vertex_side_loader(figure1):
+    loader = TupleLoader(figure1, "vertex")
+    tuples = list(loader.edges_of(0))
+    assert [t.dst for t in tuples] == [0, 2]  # v0's hyperedges
+
+
+def test_chain_tuples_terminates_with_sentinel(figure1):
+    loader = TupleLoader(figure1, "hyperedge")
+    stream = list(loader.chain_tuples(iter([0, 2])))
+    assert stream[-1] == END_OF_CHAINS
+    # h0 has 3 edges, h2 has 3 edges.
+    assert len(stream) == 7
+
+
+def test_sentinel_value():
+    assert END_OF_CHAINS.src == -1
+    assert END_OF_CHAINS.dst == -1
+
+
+def test_tuple_reuse_structure(figure1):
+    """The paper's point: only the first edge of an element loads src data."""
+    loader = TupleLoader(figure1, "hyperedge")
+    stream = [t for t in loader.chain_tuples(iter([0, 2, 1, 3])) if t != END_OF_CHAINS]
+    fresh_loads = sum(1 for t in stream if t.fresh_src)
+    assert fresh_loads == 4  # one per chain element, not per edge
+    assert len(stream) == figure1.num_bipartite_edges
+
+
+def test_tuples_are_hashable_and_comparable():
+    a = BipartiteTuple(src=1, dst=2, fresh_src=True)
+    b = BipartiteTuple(src=1, dst=2, fresh_src=True)
+    assert a == b
+    assert hash(a) == hash(b)

@@ -1,0 +1,117 @@
+"""Tests for the engines' cost-charging behaviour (the timing story)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import Bfs
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.engine import ChGraphEngine, GlaResources, HygraEngine, SoftwareGlaEngine
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.hypergraph.generators import AffiliationConfig, generate_affiliation_hypergraph
+
+    hypergraph = generate_affiliation_hypergraph(
+        AffiliationConfig(
+            num_vertices=320,
+            num_hyperedges=320,
+            mean_hyperedge_degree=20.0,
+            min_hyperedge_degree=8,
+            num_communities=8,
+            overlap_bias=0.97,
+            seed=4,
+        ),
+        name="cost",
+    )
+    config = scaled_config(num_cores=4, llc_kb=2)
+    return hypergraph, config, GlaResources.build(hypergraph, 4)
+
+
+def test_gla_charges_generation_compute(workload):
+    """Software GLA's compute (chain generation) exceeds Hygra's."""
+    hypergraph, config, resources = workload
+    hygra = HygraEngine().run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    gla = SoftwareGlaEngine(resources).run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    assert gla.compute_cycles > hygra.compute_cycles
+
+
+def test_chgraph_core_compute_below_gla(workload):
+    """ChGraph moves Generate/Load off the core: less core compute than GLA."""
+    hypergraph, config, resources = workload
+    gla = SoftwareGlaEngine(resources).run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    chg = ChGraphEngine(resources).run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    assert chg.compute_cycles < gla.compute_cycles
+
+
+def test_apply_cost_factor_scales_compute(workload):
+    """BC's heavier updates cost more core compute than BFS's on the same
+    access volume (per tuple)."""
+    hypergraph, config, _ = workload
+    bfs = HygraEngine().run(Bfs(source=0), hypergraph, SimulatedSystem(config))
+    assert Bfs.apply_cost_factor < ConnectedComponents.apply_cost_factor < 1.5
+    assert bfs.compute_cycles > 0
+
+
+def test_memory_stall_dominates_hygra(workload):
+    """The Figure 5 premise: Hygra is memory-bound on overlapping inputs."""
+    hypergraph, config, _ = workload
+    run = HygraEngine().run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    assert run.memory_stall_fraction > 0.5
+
+
+def test_chgraph_reduces_stall_fraction(workload):
+    """Decoupling converts demand stalls into overlapped engine time."""
+    hypergraph, config, resources = workload
+    hygra = HygraEngine().run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    chg = ChGraphEngine(resources).run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    assert chg.memory_stall_fraction < hygra.memory_stall_fraction
+
+
+def test_cycles_scale_with_iterations(workload):
+    hypergraph, config, _ = workload
+    one = HygraEngine().run(
+        PageRank(iterations=1), hypergraph, SimulatedSystem(config)
+    )
+    three = HygraEngine().run(
+        PageRank(iterations=3), hypergraph, SimulatedSystem(config)
+    )
+    assert 2.0 < three.cycles / one.cycles < 4.0
+
+
+def test_results_independent_of_cost_constants(workload):
+    """Timing knobs must never leak into algorithm results."""
+    hypergraph, _, resources = workload
+    a = SoftwareGlaEngine(resources).run(
+        PageRank(iterations=2),
+        hypergraph,
+        SimulatedSystem(scaled_config(num_cores=4).replace(sw_generate_cycles=1.0)),
+    )
+    b = SoftwareGlaEngine(resources).run(
+        PageRank(iterations=2),
+        hypergraph,
+        SimulatedSystem(
+            scaled_config(num_cores=4).replace(sw_generate_cycles=9999.0)
+        ),
+    )
+    assert np.array_equal(a.result, b.result)
+    assert a.cycles < b.cycles

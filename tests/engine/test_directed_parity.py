@@ -1,0 +1,44 @@
+"""Directed-hypergraph workloads through every engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import Bfs
+from repro.engine import ChGraphEngine, GlaResources, HygraEngine, SoftwareGlaEngine
+from repro.hypergraph.directed import DirectedHypergraph
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+
+@pytest.fixture(scope="module")
+def directed_workload():
+    import random
+
+    rng = random.Random(77)
+    hyperedges = []
+    for _ in range(160):
+        sources = rng.sample(range(200), rng.randint(1, 4))
+        destinations = rng.sample(range(200), rng.randint(1, 4))
+        hyperedges.append((sources, destinations))
+    return DirectedHypergraph.from_lists(hyperedges, num_vertices=200)
+
+
+@pytest.mark.parametrize("orientation", ["forward", "backward"])
+def test_all_engines_agree_on_directed(directed_workload, orientation):
+    projection = getattr(directed_workload, orientation)()
+    config = scaled_config(num_cores=4, llc_kb=2)
+    resources = GlaResources.build(projection, config.num_cores)
+    reference = HygraEngine().run(
+        Bfs(source=5), projection, SimulatedSystem(config)
+    )
+    for engine in (SoftwareGlaEngine(resources), ChGraphEngine(resources)):
+        run = engine.run(Bfs(source=5), projection, SimulatedSystem(config))
+        assert np.allclose(run.result, reference.result, equal_nan=True)
+
+
+def test_forward_backward_differ(directed_workload):
+    forward = HygraEngine().run(Bfs(source=5), directed_workload.forward())
+    backward = HygraEngine().run(Bfs(source=5), directed_workload.backward())
+    assert not np.array_equal(forward.result, backward.result)

@@ -1,0 +1,93 @@
+"""THE core invariant: every engine computes identical results.
+
+The paper's correctness argument for chain scheduling (and for W_min
+pruning) is that reordering a synchronous phase cannot change its outcome.
+Every algorithm must therefore produce the same answers under Hygra's index
+order, software GLA, ChGraph, both ChGraph ablations, HATS-V, and the
+event-driven prefetcher.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Adsorption,
+    BetweennessCentrality,
+    Bfs,
+    ConnectedComponents,
+    KCore,
+    MaximalIndependentSet,
+    PageRank,
+    Sssp,
+)
+from repro.baselines import EventPrefetcherEngine, HatsVEngine
+from repro.engine import ChGraphEngine, GlaResources, HygraEngine, SoftwareGlaEngine
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+ALGORITHMS = [
+    lambda: Bfs(source=0),
+    lambda: PageRank(iterations=3),
+    lambda: MaximalIndependentSet(seed=9),
+    lambda: BetweennessCentrality(source=0),
+    lambda: ConnectedComponents(),
+    lambda: KCore(),
+    lambda: Sssp(source=0),
+    lambda: Adsorption(iterations=3, seed=2),
+]
+
+ALGO_IDS = ["BFS", "PR", "MIS", "BC", "CC", "k-core", "SSSP", "Adsorption"]
+
+
+def engines(resources):
+    return [
+        SoftwareGlaEngine(resources),
+        ChGraphEngine(resources),
+        ChGraphEngine(resources, use_hcg=True, use_cp=False),
+        ChGraphEngine(resources, use_hcg=False, use_cp=True),
+        HatsVEngine(resources),
+        EventPrefetcherEngine(),
+    ]
+
+
+@pytest.mark.parametrize("algorithm_factory", ALGORITHMS, ids=ALGO_IDS)
+def test_all_engines_agree_semantically(algorithm_factory, small_hypergraph):
+    """Pure (null-system) runs: exact scheduling-independence check."""
+    config = scaled_config(num_cores=4)
+    resources = GlaResources.build(small_hypergraph, config.num_cores)
+    reference = HygraEngine().run(algorithm_factory(), small_hypergraph)
+    for engine in engines(resources):
+        run = engine.run(algorithm_factory(), small_hypergraph)
+        assert np.allclose(
+            run.result, reference.result, equal_nan=True
+        ), f"{engine.name} diverged from Hygra"
+        assert np.allclose(
+            run.hyperedge_values, reference.hyperedge_values, equal_nan=True
+        ), f"{engine.name} hyperedge values diverged"
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory", ALGORITHMS[:4], ids=ALGO_IDS[:4]
+)
+def test_parity_holds_under_full_simulation(algorithm_factory, small_hypergraph):
+    """The cache/timing simulation must not perturb algorithm results."""
+    config = scaled_config(num_cores=4, llc_kb=2)
+    resources = GlaResources.build(small_hypergraph, config.num_cores)
+    reference = HygraEngine().run(
+        algorithm_factory(), small_hypergraph, SimulatedSystem(config)
+    )
+    for engine in (SoftwareGlaEngine(resources), ChGraphEngine(resources)):
+        run = engine.run(algorithm_factory(), small_hypergraph, SimulatedSystem(config))
+        assert np.allclose(run.result, reference.result, equal_nan=True)
+
+
+def test_simulated_and_pure_runs_agree(small_hypergraph):
+    """A NullSystem run and a simulated run compute the same answers."""
+    config = scaled_config(num_cores=4)
+    pure = HygraEngine().run(PageRank(iterations=3), small_hypergraph)
+    simulated = HygraEngine().run(
+        PageRank(iterations=3), small_hypergraph, SimulatedSystem(config)
+    )
+    assert np.allclose(pure.result, simulated.result)

@@ -1,0 +1,90 @@
+"""Property-based scheduling-independence: random hypergraphs, random seeds.
+
+Complements the fixed-workload parity suite with hypothesis-generated
+structures, including degenerate shapes the fixed fixtures never produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bfs import Bfs
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.kcore import KCore
+from repro.algorithms.pagerank import PageRank
+from repro.engine import ChGraphEngine, GlaResources, HygraEngine, SoftwareGlaEngine
+
+hyperedges_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=23), min_size=1, max_size=6),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _engines(hypergraph):
+    resources = GlaResources.build(hypergraph, num_cores=3)
+    return HygraEngine(), SoftwareGlaEngine(resources), ChGraphEngine(resources)
+
+
+@given(hyperedges_strategy)
+@settings(max_examples=20, deadline=None)
+def test_cc_parity_random(hyperedges):
+    from repro.hypergraph.hypergraph import Hypergraph
+    from repro.sim.config import scaled_config
+    from repro.sim.system import SimulatedSystem
+
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=24)
+    reference = None
+    for engine in _engines(hypergraph):
+        run = engine.run(
+            ConnectedComponents(),
+            hypergraph,
+            SimulatedSystem(scaled_config(num_cores=3, llc_kb=2)),
+        )
+        if reference is None:
+            reference = run.result
+        assert np.array_equal(run.result, reference)
+
+
+@given(hyperedges_strategy, st.integers(min_value=0, max_value=23))
+@settings(max_examples=20, deadline=None)
+def test_bfs_parity_random(hyperedges, source):
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=24)
+    reference = None
+    for engine in _engines(hypergraph):
+        run = engine.run(Bfs(source=source), hypergraph)
+        if reference is None:
+            reference = run.result
+        assert np.array_equal(run.result, reference)
+
+
+@given(hyperedges_strategy)
+@settings(max_examples=15, deadline=None)
+def test_kcore_parity_random(hyperedges):
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=24)
+    reference = None
+    for engine in _engines(hypergraph):
+        run = engine.run(KCore(), hypergraph)
+        if reference is None:
+            reference = run.result
+        assert np.array_equal(run.result, reference)
+
+
+@given(hyperedges_strategy)
+@settings(max_examples=15, deadline=None)
+def test_pagerank_parity_random(hyperedges):
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    hypergraph = Hypergraph.from_hyperedge_lists(hyperedges, num_vertices=24)
+    reference = None
+    for engine in _engines(hypergraph):
+        run = engine.run(PageRank(iterations=2), hypergraph)
+        if reference is None:
+            reference = run.result
+        assert np.allclose(run.result, reference)

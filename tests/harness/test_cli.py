@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--engine", "nope"])
+
+
+def test_experiment_registry_covers_all_figures():
+    expected = {
+        "table1", "table2", "vi_e", "summary",
+        *{f"fig{n:02d}" for n in (2, 3, 5, 7, 8, 14, 15, 16, 17, 18, 19,
+                                   20, 21, 22, 23, 24, 25)},
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    for key in ("FS", "OK", "LJ", "WEB", "OG"):
+        assert key in out
+
+
+def test_area_command(capsys):
+    assert main(["area"]) == 0
+    out = capsys.readouterr().out
+    assert "0.095 mm2" in out
+    assert "0.26%" in out
+
+
+def test_run_command_small(capsys):
+    code = main([
+        "run", "--engine", "Hygra", "--algorithm", "BFS", "--dataset", "FS",
+        "--cores", "4", "--llc-kb", "2", "--pr-iterations", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Run summary" in out
+    assert "DRAM accesses" in out
+
+
+def test_compare_command_small(capsys):
+    code = main([
+        "compare", "--algorithm", "BFS", "--dataset", "FS",
+        "--cores", "4", "--llc-kb", "2", "--pr-iterations", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Hygra" in out and "ChGraph" in out and "Speedup" in out
+
+
+def test_experiment_command_cheap(capsys):
+    assert main(["experiment", "table1"]) == 0
+    assert "Table I" in capsys.readouterr().out
+    assert main(["experiment", "vi_e"]) == 0
+    assert "area" in capsys.readouterr().out.lower()

@@ -1,0 +1,152 @@
+"""Smoke tests for the experiment registry on tiny datasets.
+
+Full-size experiment tables are exercised by the benchmark suite; here a
+scaled-down runner verifies every experiment function produces well-formed
+rows and preserves the paper's qualitative direction where it is cheap to
+check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.datasets import graph_dataset
+from repro.harness.runner import Runner
+from repro.hypergraph.generators import paper_dataset
+
+
+class TinyRunner(Runner):
+    """Routes the paper datasets to ~20%-scale stand-ins."""
+
+    def __init__(self):
+        super().__init__(pr_iterations=1)
+        self._tiny = {}
+
+    def dataset(self, key):
+        if key in ("AZ", "PK"):
+            return graph_dataset(key)
+        if key not in self._tiny:
+            self._tiny[key] = paper_dataset(key, scale=0.12)
+        return self._tiny[key]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return TinyRunner()
+
+
+def test_table1_rows():
+    title, headers, rows = experiments.table1_rows()
+    assert "Table I" in title
+    assert len(rows) == 7
+
+
+def test_table2_rows(runner):
+    _, headers, rows = experiments.table2_rows(runner)
+    assert len(rows) == 5
+    assert headers[0] == "Dataset"
+
+
+def test_fig02_and_fig03(runner):
+    _, _, rows02 = experiments.fig02_memory_accesses(runner)
+    assert [row[0] for row in rows02] == ["Hygra", "GLA", "ChGraph"]
+    _, _, rows03 = experiments.fig03_performance(runner)
+    chgraph_speedup = rows03[2][2]
+    assert chgraph_speedup > 1.0  # ChGraph beats Hygra even at tiny scale
+
+
+def test_fig05(runner):
+    _, headers, rows = experiments.fig05_memory_stalls(runner, apps=("PR",))
+    assert len(rows) == 1
+    assert all(0.0 <= value <= 1.0 for value in rows[0][1:])
+
+
+def test_fig08(runner):
+    _, _, rows = experiments.fig08_overlap(runner)
+    assert len(rows) == 10  # 2 sides x 5 datasets
+    for row in rows:
+        ratios = row[2:]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+def test_fig14_subset(runner):
+    _, _, rows = experiments.fig14_performance(runner, apps=("PR",))
+    assert len(rows) == 5
+    for row in rows:
+        assert row[3] > 1.0  # ChGraph speedup
+
+
+def test_fig16(runner):
+    _, _, rows = experiments.fig16_hw_breakdown(runner, apps=("PR",))
+    assert rows[0][3] > 1.0  # full ChGraph beats software GLA
+
+
+def test_fig17_and_fig18(runner):
+    _, _, rows17 = experiments.fig17_dmax_sweep(runner, depths=(2, 16))
+    assert len(rows17) == 2
+    _, _, rows18 = experiments.fig18_wmin_sweep(runner, thresholds=(1, 9))
+    assert len(rows18) == 2
+
+
+def test_fig19(runner):
+    _, _, rows = experiments.fig19_llc_sweep(runner, llc_kbs=(2, 4))
+    assert len(rows) == 2
+
+
+def test_fig21(runner):
+    _, _, rows = experiments.fig21_preprocessing(runner)
+    assert len(rows) == 5
+    for row in rows:
+        assert row[1] > 0  # OAG construction always costs something
+        assert row[2] > 0  # and takes extra space
+
+
+def test_fig24(runner):
+    _, _, rows = experiments.fig24_reordering(runner, dataset="OK")
+    assert [row[0] for row in rows] == [
+        "Hygra", "Hygra+Reorder", "ChGraph", "ChGraph+Reorder",
+    ]
+
+
+def test_fig25(runner):
+    _, _, rows = experiments.fig25_graph_apps(runner)
+    assert len(rows) == 4
+    for row in rows:
+        assert row[2] > 0  # finite speedups
+
+
+def test_vi_e():
+    _, _, rows = experiments.vi_e_area_power()
+    values = dict((row[0], row[1]) for row in rows)
+    assert values["Total area"].endswith("mm2")
+
+
+def test_fig15_tiny(runner):
+    _, _, rows = experiments.fig15_breakdown(runner, apps=("PR",))
+    assert len(rows) == 10  # 5 datasets x {Hygra, ChGraph}
+    hygra_rows = [row for row in rows if row[2] == "H"]
+    assert all(row[7] == 0 for row in hygra_rows)  # no OAG traffic
+
+
+def test_fig20_tiny(runner):
+    _, _, rows = experiments.fig20_core_scaling(runner, cores=(2, 4))
+    assert len(rows) == 2
+    assert rows[0][1] > rows[1][1]  # more cores, fewer Hygra cycles
+
+
+def test_fig22_tiny(runner):
+    _, _, rows = experiments.fig22_total_time(runner, apps=("PR",))
+    assert len(rows) == 5
+    assert all(row[2] > 0 for row in rows)
+
+
+def test_fig23_tiny(runner):
+    _, _, rows = experiments.fig23_prefetcher(runner, apps=("PR",))
+    assert len(rows) == 5
+
+
+def test_headline_summary_tiny(runner):
+    _, _, rows = experiments.headline_summary(runner, apps=("PR",))
+    assert len(rows) == 1
+    assert rows[0][1] > 1.0  # min ChGraph speedup

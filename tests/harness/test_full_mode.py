@@ -1,0 +1,27 @@
+"""Tests for the REPRO_BENCH_FULL environment switch."""
+
+from __future__ import annotations
+
+from repro.harness.runner import Runner, _full_mode
+
+
+def test_quick_mode_default(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    assert not _full_mode()
+    assert Runner().pr_iterations == 2
+
+
+def test_full_mode_enables_paper_iterations(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert _full_mode()
+    assert Runner().pr_iterations == 10
+
+
+def test_zero_disables_full_mode(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+    assert not _full_mode()
+
+
+def test_explicit_iterations_override_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    assert Runner(pr_iterations=3).pr_iterations == 3

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness: runner, datasets, report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.datasets import GRAPH_DATASETS, graph_dataset, hypergraph_dataset
+from repro.harness.report import format_value, render_table
+from repro.harness.runner import PAPER_APPS, Runner, get_runner
+
+
+def test_paper_apps_order():
+    assert PAPER_APPS == ("BFS", "PR", "MIS", "BC", "CC", "k-core")
+
+
+def test_runner_algorithm_factory():
+    runner = Runner(pr_iterations=3)
+    assert runner.algorithm("BFS").name == "BFS"
+    pr = runner.algorithm("PR")
+    assert pr.max_iterations == 3
+    with pytest.raises(KeyError):
+        runner.algorithm("nope")
+
+
+def test_runner_engine_factory(small_hypergraph):
+    runner = Runner()
+    from repro.sim.config import scaled_config
+
+    config = scaled_config(num_cores=4)
+    for name in (
+        "Hygra", "GLA", "ChGraph", "ChGraph-HCGonly", "ChGraph-CPonly",
+        "HATS-V", "EventPrefetcher", "Ligra",
+    ):
+        engine = runner.engine(name, small_hypergraph, config)
+        assert engine.name == name
+    with pytest.raises(KeyError):
+        runner.engine("nope", small_hypergraph, config)
+
+
+def test_runner_memoizes(monkeypatch):
+    runner = Runner(pr_iterations=1)
+    # Route the dataset to a tiny stand-in so the test is fast.
+    small = hypergraph_dataset("FS", scale=0.15)
+    monkeypatch.setattr(runner, "dataset", lambda key: small)
+    first = runner.run("Hygra", "BFS", "FS")
+    second = runner.run("Hygra", "BFS", "FS")
+    assert first is second
+
+
+def test_graph_datasets_2_uniform():
+    for key in GRAPH_DATASETS:
+        graph = graph_dataset(key)
+        assert all(
+            graph.hyperedge_degree(h) == 2 for h in range(graph.num_hyperedges)
+        )
+
+
+def test_graph_dataset_cached():
+    assert graph_dataset("AZ") is graph_dataset("AZ")
+    with pytest.raises(KeyError):
+        graph_dataset("XX")
+
+
+def test_hypergraph_dataset_cached():
+    assert hypergraph_dataset("OK") is hypergraph_dataset("OK")
+
+
+def test_get_runner_singleton():
+    assert get_runner() is get_runner()
+
+
+def test_format_value():
+    assert format_value(True) == "yes"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(0.001234) == "0.001"
+    assert format_value(12345) == "12,345"
+    assert format_value(1234.5) == "1,234"
+    assert format_value("x") == "x"
+    assert format_value(0.0) == "0"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["Name", "Value"], [["a", 1], ["bb", 22]], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1]
+    assert "-" in lines[2]
+    assert len(lines) == 5
+
+
+def test_runner_distinguishes_modified_configs(monkeypatch):
+    """Two configs sharing a name but differing in fields must not collide."""
+    from repro.sim.config import scaled_config
+
+    runner = Runner(pr_iterations=1)
+    small = hypergraph_dataset("FS", scale=0.15)
+    monkeypatch.setattr(runner, "dataset", lambda key: small)
+    base = scaled_config(num_cores=4)
+    tweaked = base.replace(mlp=base.mlp * 4)
+    first = runner.run("Hygra", "BFS", "FS", base)
+    second = runner.run("Hygra", "BFS", "FS", tweaked)
+    assert first is not second
+    assert first.cycles != second.cycles
+
+
+def test_runner_speedup_helper(monkeypatch):
+    runner = Runner(pr_iterations=1)
+    small = hypergraph_dataset("FS", scale=0.15)
+    monkeypatch.setattr(runner, "dataset", lambda key: small)
+    speedup = runner.speedup("ChGraph", "Hygra", "BFS", "FS")
+    hygra = runner.run("Hygra", "BFS", "FS")
+    chgraph = runner.run("ChGraph", "BFS", "FS")
+    assert speedup == pytest.approx(hygra.cycles / chgraph.cycles)
+
+
+def test_with_bars_scaling():
+    from repro.harness.report import with_bars
+
+    rows = with_bars([["a", 10], ["b", 5], ["c", 0]], value_index=1, width=10)
+    assert rows[0][-1] == "#" * 10
+    assert rows[1][-1] == "#" * 5
+    assert len(rows[2][-1]) <= 1
+    # Original cells untouched.
+    assert rows[0][:2] == ["a", 10]
+
+
+def test_with_bars_empty_and_zero():
+    from repro.harness.report import with_bars
+
+    assert with_bars([], 0) == []
+    rows = with_bars([["x", 0.0]], 1)
+    assert rows[0][-1] == ""

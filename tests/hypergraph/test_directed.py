@@ -1,0 +1,104 @@
+"""Tests for directed hypergraphs (§II-A) and their projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import Bfs
+from repro.algorithms.graph import Sssp
+from repro.engine.hygra import HygraEngine
+from repro.errors import HypergraphFormatError
+from repro.hypergraph.directed import DirectedHypergraph
+
+
+@pytest.fixture
+def triangle():
+    """v0 -[h0]-> {v1, v2}; v1 -[h1]-> {v3}; v3 -[h2]-> {v0}."""
+    return DirectedHypergraph.from_lists(
+        [([0], [1, 2]), ([1], [3]), ([3], [0])], num_vertices=4
+    )
+
+
+def test_basic_queries(triangle):
+    assert triangle.num_hyperedges == 3
+    assert triangle.num_vertices == 4
+    assert list(triangle.source_vertices(0)) == [0]
+    assert list(triangle.destination_vertices(0)) == [1, 2]
+
+
+def test_forward_bfs_follows_direction(triangle):
+    run = HygraEngine().run(Bfs(source=0), triangle.forward())
+    # Bipartite hops: v0=0, v1=v2=2 (through h0), v3=4 (through h1).
+    assert list(run.result) == [0.0, 2.0, 2.0, 4.0]
+
+
+def test_backward_bfs_is_reverse_reachability(triangle):
+    run = HygraEngine().run(Bfs(source=0), triangle.backward())
+    # Who reaches v0: v3 directly (h2), v1 through v3; v2 reaches nothing.
+    assert run.result[3] == 2.0
+    assert run.result[1] == 4.0
+    assert np.isinf(run.result[2])
+
+
+def test_direction_matters(triangle):
+    forward = HygraEngine().run(Sssp(source=1), triangle.forward())
+    # v1 -> v3 -> v0 -> {v1, v2}: all reachable going forward...
+    assert np.all(np.isfinite(forward.result))
+    backward = HygraEngine().run(Sssp(source=1), triangle.backward())
+    # ...but only v0 (via h0) reaches v1 going backward... and v3, v1 via cycle.
+    assert np.isinf(backward.result[2])
+
+
+def test_as_undirected_unions_sets(triangle):
+    undirected = triangle.as_undirected()
+    assert list(undirected.incident_vertices(0)) == [0, 1, 2]
+    assert undirected.num_bipartite_edges == 7
+    assert undirected.directed is False
+
+
+def test_reverse_swaps_sets(triangle):
+    reversed_ = triangle.reverse()
+    assert list(reversed_.source_vertices(0)) == [1, 2]
+    assert list(reversed_.destination_vertices(0)) == [0]
+    # Reverse of reverse restores forward semantics.
+    double = reversed_.reverse()
+    run_a = HygraEngine().run(Bfs(source=0), triangle.forward())
+    run_b = HygraEngine().run(Bfs(source=0), double.forward())
+    assert np.array_equal(run_a.result, run_b.result)
+
+
+def test_backward_equals_reverse_forward(triangle):
+    a = HygraEngine().run(Bfs(source=0), triangle.backward())
+    b = HygraEngine().run(Bfs(source=0), triangle.reverse().forward())
+    assert np.array_equal(a.result, b.result)
+
+
+def test_projections_marked_directed(triangle):
+    assert triangle.forward().directed is True
+    assert triangle.backward().directed is True
+
+
+def test_vertex_in_both_sets_allowed():
+    dh = DirectedHypergraph.from_lists([([0, 1], [1, 2])])
+    assert list(dh.source_vertices(0)) == [0, 1]
+    assert list(dh.destination_vertices(0)) == [1, 2]
+
+
+def test_validation_errors():
+    with pytest.raises(HypergraphFormatError):
+        DirectedHypergraph.from_lists([([0], [-1])])
+    with pytest.raises(HypergraphFormatError):
+        DirectedHypergraph.from_lists([([0], [5])], num_vertices=3)
+    from repro.hypergraph.csr import Csr
+
+    with pytest.raises(HypergraphFormatError):
+        DirectedHypergraph(Csr.from_lists([[0]]), Csr.from_lists([[0], [1]]), 2)
+
+
+def test_empty_source_set_allowed():
+    """A hyperedge with no sources is a pure sink-side fact (never fires)."""
+    dh = DirectedHypergraph.from_lists([([], [0, 1])], num_vertices=2)
+    run = HygraEngine().run(Bfs(source=0), dh.forward())
+    assert run.result[0] == 0.0
+    assert np.isinf(run.result[1])

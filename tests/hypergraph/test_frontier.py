@@ -1,0 +1,82 @@
+"""Tests for the activity frontier (bitmap + sparse views)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.frontier import Frontier
+
+
+def test_empty_frontier():
+    frontier = Frontier(10)
+    assert frontier.is_empty()
+    assert len(frontier) == 0
+    assert list(frontier) == []
+
+
+def test_add_discard_contains():
+    frontier = Frontier(10)
+    frontier.add(3)
+    assert 3 in frontier
+    assert len(frontier) == 1
+    frontier.discard(3)
+    assert 3 not in frontier
+    assert frontier.is_empty()
+
+
+def test_iteration_is_index_ordered():
+    frontier = Frontier(10, [7, 2, 5])
+    assert list(frontier) == [2, 5, 7]
+
+
+def test_all_active():
+    frontier = Frontier.all_active(5)
+    assert len(frontier) == 5
+    assert frontier.density() == 1.0
+
+
+def test_from_bitmap_copies():
+    bitmap = np.array([True, False, True])
+    frontier = Frontier.from_bitmap(bitmap)
+    bitmap[1] = True
+    assert 1 not in frontier
+
+
+def test_copy_is_independent():
+    frontier = Frontier(5, [1])
+    other = frontier.copy()
+    other.add(2)
+    assert 2 not in frontier
+    assert 2 in other
+
+
+def test_clear():
+    frontier = Frontier.all_active(4)
+    frontier.clear()
+    assert frontier.is_empty()
+
+
+def test_density_empty_universe():
+    assert Frontier(0).density() == 0.0
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63)))
+@settings(max_examples=60, deadline=None)
+def test_ids_match_membership(active):
+    frontier = Frontier(64, active)
+    assert set(frontier.ids()) == active
+    assert len(frontier) == len(active)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=31)),
+    st.sets(st.integers(min_value=0, max_value=31)),
+)
+@settings(max_examples=40, deadline=None)
+def test_add_then_discard_yields_difference(first, second):
+    frontier = Frontier(32, first)
+    for i in second:
+        frontier.discard(i)
+    assert set(frontier.ids()) == first - second

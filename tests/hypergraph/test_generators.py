@@ -1,0 +1,151 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.generators import (
+    AffiliationConfig,
+    PAPER_DATASETS,
+    generate_affiliation_hypergraph,
+    generate_uniform_random_hypergraph,
+    paper_dataset,
+    planted_chain_hypergraph,
+    two_uniform_graph,
+)
+
+
+def _config(**overrides):
+    base = dict(
+        num_vertices=200,
+        num_hyperedges=100,
+        mean_hyperedge_degree=8.0,
+        num_communities=10,
+        seed=3,
+    )
+    base.update(overrides)
+    return AffiliationConfig(**base)
+
+
+def test_affiliation_dimensions():
+    hypergraph = generate_affiliation_hypergraph(_config())
+    assert hypergraph.num_vertices == 200
+    assert hypergraph.num_hyperedges == 100
+
+
+def test_affiliation_deterministic():
+    a = generate_affiliation_hypergraph(_config())
+    b = generate_affiliation_hypergraph(_config())
+    assert a.hyperedges == b.hyperedges
+
+
+def test_affiliation_seed_changes_structure():
+    a = generate_affiliation_hypergraph(_config(seed=3))
+    b = generate_affiliation_hypergraph(_config(seed=4))
+    assert a.hyperedges != b.hyperedges
+
+
+def test_min_hyperedge_degree_respected():
+    hypergraph = generate_affiliation_hypergraph(_config(min_hyperedge_degree=2))
+    for h in range(hypergraph.num_hyperedges):
+        assert hypergraph.hyperedge_degree(h) >= 2
+
+
+def test_vertex_run_colocates_communities():
+    # With vertex_run=8, each run of 8 consecutive ids belongs to exactly one
+    # community, so hyperedges predominantly touch few 8-aligned blocks.
+    config = _config(vertex_run=8, overlap_bias=1.0, num_communities=5)
+    hypergraph = generate_affiliation_hypergraph(config)
+    blocks_per_hyperedge = [
+        len({int(v) // 8 for v in hypergraph.incident_vertices(h)})
+        for h in range(hypergraph.num_hyperedges)
+    ]
+    degrees = [hypergraph.hyperedge_degree(h) for h in range(hypergraph.num_hyperedges)]
+    # Far fewer blocks than members on average (co-location).
+    assert sum(blocks_per_hyperedge) < 0.9 * sum(degrees)
+
+
+def test_hub_bias_creates_hot_vertices():
+    config = _config(hubs_per_community=2, hub_bias=0.6)
+    hypergraph = generate_affiliation_hypergraph(config)
+    degrees = sorted(
+        (hypergraph.vertex_degree(v) for v in range(hypergraph.num_vertices)),
+        reverse=True,
+    )
+    # The hottest vertices dominate the median by a wide margin.
+    median = degrees[len(degrees) // 2]
+    assert degrees[0] >= max(4, 3 * max(median, 1))
+
+
+def test_uniform_random_is_k_uniform():
+    hypergraph = generate_uniform_random_hypergraph(50, 20, hyperedge_degree=5)
+    for h in range(20):
+        assert hypergraph.hyperedge_degree(h) == 5
+
+
+def test_planted_chain_structure():
+    hypergraph = planted_chain_hypergraph(5, overlap=2, fresh=2)
+    # Consecutive hyperedges share exactly `overlap` vertices.
+    for h in range(4):
+        a = set(map(int, hypergraph.incident_vertices(h)))
+        b = set(map(int, hypergraph.incident_vertices(h + 1)))
+        assert len(a & b) == 2
+    # Non-consecutive hyperedges share nothing.
+    a = set(map(int, hypergraph.incident_vertices(0)))
+    c = set(map(int, hypergraph.incident_vertices(2)))
+    assert not (a & c)
+
+
+def test_two_uniform_graph():
+    graph = two_uniform_graph([(0, 1), (1, 2)])
+    assert graph.num_hyperedges == 2
+    assert all(graph.hyperedge_degree(h) == 2 for h in range(2))
+
+
+def test_paper_dataset_names_and_order():
+    assert PAPER_DATASETS == ("FS", "OK", "LJ", "WEB", "OG")
+    for key in PAPER_DATASETS:
+        hypergraph = paper_dataset(key, scale=0.1)
+        assert hypergraph.name == key
+        assert hypergraph.num_hyperedges > 0
+
+
+def test_paper_dataset_unknown_key():
+    with pytest.raises(KeyError):
+        paper_dataset("nope")
+
+
+def test_paper_dataset_ratio_ordering():
+    """FS and WEB keep |V| > |H|; OK, LJ, OG keep |H| > |V| (Table II)."""
+    shapes = {key: paper_dataset(key, scale=0.2) for key in PAPER_DATASETS}
+    for key in ("FS", "WEB"):
+        assert shapes[key].num_vertices > shapes[key].num_hyperedges
+    for key in ("OK", "LJ", "OG"):
+        assert shapes[key].num_hyperedges > shapes[key].num_vertices
+
+
+def test_paper_dataset_scale_shrinks():
+    full = paper_dataset("FS")
+    small = paper_dataset("FS", scale=0.25)
+    assert small.num_vertices < full.num_vertices
+    assert small.num_hyperedges < full.num_hyperedges
+
+
+def test_rmat_bipartite_shape_and_skew():
+    from repro.hypergraph.generators import generate_rmat_bipartite
+    import numpy as np
+
+    hypergraph = generate_rmat_bipartite(256, 128, 2000, seed=5)
+    assert hypergraph.num_vertices == 256
+    assert hypergraph.num_hyperedges == 128
+    degrees = np.diff(hypergraph.vertices.offsets)
+    # R-MAT skew: the hottest vertex far exceeds the median.
+    assert degrees.max() >= 5 * max(int(np.median(degrees)), 1)
+
+
+def test_rmat_deterministic():
+    from repro.hypergraph.generators import generate_rmat_bipartite
+
+    a = generate_rmat_bipartite(64, 32, 400, seed=9)
+    b = generate_rmat_bipartite(64, 32, 400, seed=9)
+    assert a.hyperedges == b.hyperedges

@@ -1,0 +1,127 @@
+"""Round-trip and error tests for hypergraph I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HypergraphFormatError
+from repro.hypergraph.io import (
+    load_bipartite_edges,
+    load_hyperedge_list,
+    load_json,
+    save_bipartite_edges,
+    save_hyperedge_list,
+    save_json,
+)
+
+
+def test_hyperedge_list_roundtrip(figure1, tmp_path):
+    path = tmp_path / "fig1.hgr"
+    save_hyperedge_list(figure1, path)
+    loaded = load_hyperedge_list(path, num_vertices=7)
+    assert loaded.hyperedges == figure1.hyperedges
+    assert loaded.vertices == figure1.vertices
+
+
+def test_hyperedge_list_skips_comments(tmp_path):
+    path = tmp_path / "commented.hgr"
+    path.write_text("# header\n\n0 1\n% also a comment\n1 2\n")
+    loaded = load_hyperedge_list(path)
+    assert loaded.num_hyperedges == 2
+
+
+def test_hyperedge_list_bad_token(tmp_path):
+    path = tmp_path / "bad.hgr"
+    path.write_text("0 x 2\n")
+    with pytest.raises(HypergraphFormatError) as excinfo:
+        load_hyperedge_list(path)
+    assert "bad.hgr:1" in str(excinfo.value)
+
+
+def test_bipartite_roundtrip(figure1, tmp_path):
+    path = tmp_path / "fig1.bip"
+    save_bipartite_edges(figure1, path)
+    loaded = load_bipartite_edges(path)
+    assert loaded.hyperedges == figure1.hyperedges
+
+
+def test_bipartite_requires_pairs(tmp_path):
+    path = tmp_path / "bad.bip"
+    path.write_text("3\n")
+    with pytest.raises(HypergraphFormatError):
+        load_bipartite_edges(path)
+
+
+def test_bipartite_empty_rejected(tmp_path):
+    path = tmp_path / "empty.bip"
+    path.write_text("% nothing\n")
+    with pytest.raises(HypergraphFormatError):
+        load_bipartite_edges(path)
+
+
+def test_json_roundtrip(figure1, tmp_path):
+    path = tmp_path / "fig1.json"
+    save_json(figure1, path)
+    loaded = load_json(path)
+    assert loaded.hyperedges == figure1.hyperedges
+    assert loaded.num_vertices == figure1.num_vertices
+    assert loaded.name == "figure1"
+
+
+def test_json_missing_key(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text('{"name": "x"}')
+    with pytest.raises(HypergraphFormatError):
+        load_json(path)
+
+
+def test_loaded_name_defaults_to_stem(figure1, tmp_path):
+    path = tmp_path / "mygraph.hgr"
+    save_hyperedge_list(figure1, path)
+    assert load_hyperedge_list(path).name == "mygraph"
+
+
+def test_matrix_market_roundtrip(figure1, tmp_path):
+    from repro.hypergraph.io import load_matrix_market, save_matrix_market
+
+    path = tmp_path / "fig1.mtx"
+    save_matrix_market(figure1, path)
+    loaded = load_matrix_market(path)
+    assert loaded.hyperedges == figure1.hyperedges
+    assert loaded.num_vertices == figure1.num_vertices
+
+
+def test_matrix_market_reads_scipy_output(figure1, tmp_path):
+    """Interop: scipy.io.mmwrite output loads back identically."""
+    import numpy as np
+    import scipy.io
+    import scipy.sparse
+
+    from repro.hypergraph.io import load_matrix_market
+
+    rows, cols = [], []
+    for h in range(figure1.num_hyperedges):
+        for v in figure1.incident_vertices(h):
+            rows.append(h)
+            cols.append(int(v))
+    matrix = scipy.sparse.coo_matrix(
+        (np.ones(len(rows)), (rows, cols)),
+        shape=(figure1.num_hyperedges, figure1.num_vertices),
+    )
+    path = tmp_path / "scipy.mtx"
+    scipy.io.mmwrite(str(path), matrix)
+    loaded = load_matrix_market(path)
+    assert loaded.hyperedges == figure1.hyperedges
+
+
+def test_matrix_market_errors(tmp_path):
+    from repro.hypergraph.io import load_matrix_market
+
+    bad = tmp_path / "bad.mtx"
+    bad.write_text("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n9 1\n")
+    with pytest.raises(HypergraphFormatError):
+        load_matrix_market(bad)
+    empty = tmp_path / "empty.mtx"
+    empty.write_text("")
+    with pytest.raises(HypergraphFormatError):
+        load_matrix_market(empty)

@@ -1,0 +1,85 @@
+"""Tests for chunk partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.partition import Chunk, balanced_chunks, contiguous_chunks
+
+
+def test_chunk_basics():
+    chunk = Chunk(core=0, first=3, last=7)
+    assert len(chunk) == 4
+    assert 3 in chunk and 6 in chunk
+    assert 7 not in chunk
+    assert list(chunk.ids()) == [3, 4, 5, 6]
+
+
+def test_chunk_reversed_range_rejected():
+    with pytest.raises(ValueError):
+        Chunk(core=0, first=5, last=2)
+
+
+def test_contiguous_even_split():
+    chunks = contiguous_chunks(8, 4)
+    assert [len(c) for c in chunks] == [2, 2, 2, 2]
+    assert chunks[0].first == 0
+    assert chunks[-1].last == 8
+
+
+def test_contiguous_uneven_split_front_loads_remainder():
+    chunks = contiguous_chunks(10, 4)
+    assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+
+def test_contiguous_more_cores_than_items():
+    chunks = contiguous_chunks(2, 4)
+    assert sum(len(c) for c in chunks) == 2
+    assert len(chunks) == 4
+
+
+def test_contiguous_rejects_zero_cores():
+    with pytest.raises(ValueError):
+        contiguous_chunks(4, 0)
+
+
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=32))
+@settings(max_examples=80, deadline=None)
+def test_contiguous_cover_and_disjoint(universe, cores):
+    chunks = contiguous_chunks(universe, cores)
+    assert len(chunks) == cores
+    covered = []
+    for chunk in chunks:
+        covered.extend(chunk.ids())
+    assert covered == list(range(universe))
+    assert [c.core for c in chunks] == list(range(cores))
+
+
+def test_balanced_chunks_balances_degree():
+    # One heavy element followed by light ones: the heavy element should be
+    # alone in its chunk.
+    degrees = [100, 1, 1, 1, 1, 1]
+    chunks = balanced_chunks(degrees, 2)
+    assert len(chunks[0]) == 1
+    assert sum(len(c) for c in chunks) == 6
+
+
+def test_balanced_chunks_pads_empty_cores():
+    chunks = balanced_chunks([1, 1], 4)
+    assert len(chunks) == 4
+    assert sum(len(c) for c in chunks) == 2
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_balanced_cover_and_contiguity(degrees, cores):
+    chunks = balanced_chunks(degrees, cores)
+    covered = []
+    for chunk in chunks:
+        covered.extend(chunk.ids())
+    assert covered == list(range(len(degrees)))

@@ -1,0 +1,72 @@
+"""Tests for the spatial reordering technique (§VI-H)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypergraph.reorder import apply_vertex_permutation, locality_reorder
+
+
+def test_permutation_is_bijection(small_hypergraph):
+    reordering = locality_reorder(small_hypergraph)
+    perm = reordering.vertex_perm
+    assert sorted(perm) == list(range(small_hypergraph.num_vertices))
+
+
+def test_reorder_preserves_structure(small_hypergraph):
+    reordering = locality_reorder(small_hypergraph)
+    original = small_hypergraph
+    renamed = reordering.hypergraph
+    assert renamed.num_vertices == original.num_vertices
+    assert renamed.num_hyperedges == original.num_hyperedges
+    assert renamed.num_bipartite_edges == original.num_bipartite_edges
+    # Hyperedge h's members map exactly through the permutation.
+    for h in range(original.num_hyperedges):
+        mapped = sorted(
+            int(reordering.vertex_perm[v]) for v in original.incident_vertices(h)
+        )
+        assert mapped == list(renamed.incident_vertices(h))
+
+
+def test_reorder_preserves_degree_multiset(small_hypergraph):
+    reordering = locality_reorder(small_hypergraph)
+    original_degrees = sorted(
+        small_hypergraph.vertex_degree(v)
+        for v in range(small_hypergraph.num_vertices)
+    )
+    renamed_degrees = sorted(
+        reordering.hypergraph.vertex_degree(v)
+        for v in range(small_hypergraph.num_vertices)
+    )
+    assert original_degrees == renamed_degrees
+
+
+def test_reorder_improves_member_contiguity(small_hypergraph):
+    """The technique's goal: incident vertices get close-by ids."""
+    def mean_span(hypergraph):
+        spans = []
+        for h in range(hypergraph.num_hyperedges):
+            members = hypergraph.incident_vertices(h)
+            spans.append(int(members.max() - members.min()))
+        return float(np.mean(spans))
+
+    reordering = locality_reorder(small_hypergraph)
+    assert mean_span(reordering.hypergraph) <= mean_span(small_hypergraph)
+
+
+def test_reorder_cost_positive(small_hypergraph):
+    reordering = locality_reorder(small_hypergraph)
+    assert reordering.cost_accesses > small_hypergraph.num_bipartite_edges
+
+
+def test_original_vertex_inverts(small_hypergraph):
+    reordering = locality_reorder(small_hypergraph)
+    for new_id in (0, 1, 5):
+        old = reordering.original_vertex(new_id)
+        assert int(reordering.vertex_perm[old]) == new_id
+
+
+def test_apply_identity_permutation(figure1):
+    identity = np.arange(figure1.num_vertices)
+    renamed = apply_vertex_permutation(figure1, identity)
+    assert renamed.hyperedges == figure1.hyperedges

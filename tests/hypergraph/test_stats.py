@@ -1,0 +1,59 @@
+"""Tests for Table II statistics and Figure 8 overlap curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.stats import (
+    dataset_stats,
+    overlap_curve,
+    shared_hyperedge_ratio,
+    shared_vertex_ratio,
+)
+
+
+def test_dataset_stats_figure1(figure1):
+    stats = dataset_stats(figure1)
+    assert stats.name == "figure1"
+    assert stats.num_vertices == 7
+    assert stats.num_hyperedges == 4
+    assert stats.num_bipartite_edges == 13
+    assert stats.size_bytes == figure1.size_bytes()
+    assert stats.size_mb == pytest.approx(stats.size_bytes / (1024 * 1024))
+
+
+def test_shared_vertex_ratio_figure1(figure1):
+    # Degrees: v0..v6 = 2,2,2,2,2,1,2 -> 6 of 7 vertices shared by >= 2.
+    assert shared_vertex_ratio(figure1, 2) == pytest.approx(6 / 7)
+    assert shared_vertex_ratio(figure1, 1) == 1.0
+    assert shared_vertex_ratio(figure1, 3) == 0.0
+
+
+def test_shared_hyperedge_ratio_figure1(figure1):
+    # Every hyperedge of figure1 has at least two members shared with some
+    # other hyperedge except via v5 (degree 1): h1 = {v1,v2,v3,v5} has three
+    # shared members.
+    assert shared_hyperedge_ratio(figure1, 2) == 1.0
+    # No hyperedge has 4 members all shared.
+    assert shared_hyperedge_ratio(figure1, 4) == 0.0
+
+
+def test_overlap_curve_monotone(figure1, small_hypergraph):
+    for hypergraph in (figure1, small_hypergraph):
+        for side in ("vertex", "hyperedge"):
+            curve = overlap_curve(hypergraph, side, thresholds=(1, 2, 3, 5))
+            values = [curve[t] for t in (1, 2, 3, 5)]
+            assert values == sorted(values, reverse=True)
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_overlap_curve_unknown_side(figure1):
+    with pytest.raises(ValueError):
+        overlap_curve(figure1, "nope")
+
+
+def test_empty_hypergraph_ratios():
+    empty = Hypergraph.from_hyperedge_lists([], num_vertices=0)
+    assert shared_vertex_ratio(empty, 2) == 0.0
+    assert shared_hyperedge_ratio(empty, 2) == 0.0

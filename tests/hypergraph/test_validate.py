@@ -1,0 +1,59 @@
+"""Tests for the structural audit utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.validate import audit
+
+
+def test_clean_hypergraph_passes(small_hypergraph):
+    report = audit(small_hypergraph)
+    assert report.ok
+    assert report.num_vertices == small_hypergraph.num_vertices
+    assert report.mean_hyperedge_degree > 0
+
+
+def test_figure1_report(figure1):
+    report = audit(figure1)
+    assert report.ok
+    assert report.num_bipartite_edges == 13
+    assert report.max_hyperedge_degree == 4
+    assert report.sharable_vertex_ratio == pytest.approx(6 / 7)
+
+
+def test_singleton_hyperedges_flagged():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0], [1, 2]])
+    report = audit(hypergraph)
+    assert report.singleton_hyperedges == 1
+    assert any("singleton" in w for w in report.warnings)
+    assert not report.ok
+
+
+def test_isolated_vertices_flagged():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=10)
+    report = audit(hypergraph)
+    assert report.isolated_vertices == 8
+    assert any("isolated" in w for w in report.warnings)
+
+
+def test_duplicates_counted_and_flagged():
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]] * 6 + [[1, 2]])
+    report = audit(hypergraph)
+    assert report.duplicate_hyperedges == 5
+    assert any("duplicate" in w for w in report.warnings)
+
+
+def test_low_overlap_flagged():
+    # Disjoint hyperedges: nothing shared.
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1], [2, 3], [4, 5]])
+    report = audit(hypergraph)
+    assert report.sharable_vertex_ratio == 0.0
+    assert any("little overlap" in w for w in report.warnings)
+
+
+def test_empty_hypergraph():
+    report = audit(Hypergraph.from_hyperedge_lists([], num_vertices=0))
+    assert report.num_bipartite_edges == 0
+    assert report.mean_vertex_degree == 0.0

@@ -1,0 +1,109 @@
+"""End-to-end integration: the full pipeline on a realistic workload.
+
+Exercises generation -> preprocessing -> three engines -> results -> reports
+in one flow, asserting the paper's headline qualitative claims hold on a
+freshly generated (non-preset) hypergraph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Bfs,
+    ChGraphEngine,
+    ConnectedComponents,
+    GlaResources,
+    HygraEngine,
+    PageRank,
+    SoftwareGlaEngine,
+)
+from repro.harness.report import render_table
+from repro.hypergraph.generators import AffiliationConfig, generate_affiliation_hypergraph
+from repro.hypergraph.io import load_hyperedge_list, save_hyperedge_list
+from repro.sim import SimulatedSystem, scaled_config
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = AffiliationConfig(
+        num_vertices=1280,
+        num_hyperedges=1280,
+        mean_hyperedge_degree=40.0,
+        min_hyperedge_degree=20,
+        degree_exponent=3.0,
+        num_communities=18,
+        overlap_bias=0.99,
+        seed=33,
+    )
+    hypergraph = generate_affiliation_hypergraph(config, name="e2e")
+    system_config = scaled_config(num_cores=8, llc_kb=2)
+    resources = GlaResources.build(hypergraph, system_config.num_cores)
+    return hypergraph, system_config, resources
+
+
+def run_three(workload, algorithm_factory):
+    hypergraph, config, resources = workload
+    runs = {}
+    for engine in (
+        HygraEngine(),
+        SoftwareGlaEngine(resources),
+        ChGraphEngine(resources),
+    ):
+        runs[engine.name] = engine.run(
+            algorithm_factory(), hypergraph, SimulatedSystem(config)
+        )
+    return runs
+
+
+def test_headline_shape_pagerank(workload):
+    runs = run_three(workload, lambda: PageRank(iterations=2))
+    hygra, gla, chg = runs["Hygra"], runs["GLA"], runs["ChGraph"]
+    # Figure 3's three-way shape.
+    assert gla.cycles > hygra.cycles, "software GLA must lose to Hygra"
+    assert chg.cycles < hygra.cycles, "ChGraph must beat Hygra"
+    assert chg.speedup_over(hygra) > 1.5
+    # Figure 2's direction.
+    assert gla.dram_accesses < hygra.dram_accesses
+    assert chg.dram_accesses < hygra.dram_accesses
+    # Identical answers everywhere.
+    assert np.allclose(gla.result, hygra.result)
+    assert np.allclose(chg.result, hygra.result)
+
+
+def test_headline_shape_sparse_algorithms(workload):
+    for factory in (lambda: Bfs(source=1), ConnectedComponents):
+        runs = run_three(workload, factory)
+        hygra, chg = runs["Hygra"], runs["ChGraph"]
+        assert chg.cycles < hygra.cycles
+        assert np.allclose(chg.result, hygra.result, equal_nan=True)
+
+
+def test_io_roundtrip_preserves_results(workload, tmp_path):
+    hypergraph, config, _ = workload
+    path = tmp_path / "e2e.hgr"
+    save_hyperedge_list(hypergraph, path)
+    reloaded = load_hyperedge_list(path, num_vertices=hypergraph.num_vertices)
+    original = HygraEngine().run(PageRank(iterations=2), hypergraph)
+    roundtrip = HygraEngine().run(PageRank(iterations=2), reloaded)
+    assert np.allclose(original.result, roundtrip.result)
+
+
+def test_report_rendering_of_run(workload):
+    runs = run_three(workload, lambda: PageRank(iterations=1))
+    rows = [
+        [name, run.cycles, run.dram_accesses] for name, run in runs.items()
+    ]
+    text = render_table(["Engine", "Cycles", "DRAM"], rows, title="e2e")
+    assert "Hygra" in text and "ChGraph" in text
+
+
+def test_energy_tracks_dram_reduction(workload):
+    hypergraph, config, resources = workload
+    hygra_system = SimulatedSystem(config)
+    HygraEngine().run(PageRank(iterations=2), hypergraph, hygra_system)
+    chg_system = SimulatedSystem(config)
+    ChGraphEngine(resources).run(PageRank(iterations=2), hypergraph, chg_system)
+    # Fewer DRAM lines -> less DRAM energy.
+    assert chg_system.energy().dram_nj < hygra_system.energy().dram_nj

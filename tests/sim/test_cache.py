@@ -1,0 +1,146 @@
+"""Tests for the set-associative LRU cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache
+
+
+def make_cache(lines: int = 4, assoc: int = 2, line_size: int = 64) -> Cache:
+    return Cache(lines * line_size, assoc, line_size)
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.access(0) is False
+    assert cache.access(0) is True
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_order():
+    # 2-way, 2 sets: lines 0 and 2 map to set 0; 1 and 3 to set 1.
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0)
+    cache.access(2)
+    cache.access(4)  # set 0 full -> evicts line 0 (LRU)
+    assert not cache.contains(0)
+    assert cache.contains(2)
+    assert cache.contains(4)
+
+
+def test_hit_refreshes_lru():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0)
+    cache.access(2)
+    cache.access(0)  # 0 becomes MRU
+    cache.access(4)  # evicts 2, not 0
+    assert cache.contains(0)
+    assert not cache.contains(2)
+
+
+def test_dirty_writeback_counted():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0, write=True)
+    cache.access(2)
+    cache.access(4)  # evicts dirty line 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0)
+    cache.access(2)
+    cache.access(4)
+    assert cache.stats.writebacks == 0
+    assert cache.stats.evictions == 1
+
+
+def test_invalidate():
+    cache = make_cache()
+    cache.access(0, write=True)
+    assert cache.invalidate(0) is True
+    assert not cache.contains(0)
+    assert cache.invalidate(0) is False
+    # A dirty invalidated line must not later count as a writeback victim.
+    cache.access(0)
+    cache.access(2)
+    cache.access(4)
+    assert cache.stats.writebacks == 0
+
+
+def test_contains_does_not_touch_lru_or_stats():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0)
+    cache.access(2)
+    hits_before = cache.stats.hits
+    cache.contains(0)  # must NOT refresh LRU position
+    cache.access(4)  # evicts 0 (still LRU)
+    assert not cache.contains(0)
+    assert cache.stats.hits == hits_before
+
+
+def test_fill_returns_victim():
+    cache = make_cache(lines=4, assoc=2)
+    cache.fill(0)
+    cache.fill(2)
+    victim = cache.fill(4)
+    assert victim == 0
+
+
+def test_fill_present_line_promotes():
+    cache = make_cache(lines=4, assoc=2)
+    cache.fill(0)
+    cache.fill(2)
+    assert cache.fill(0) is None  # refill, no eviction
+    cache.fill(4)  # now evicts 2
+    assert cache.contains(0)
+
+
+def test_lookup_counts_stats():
+    cache = make_cache()
+    assert cache.lookup(0) is False
+    cache.fill(0)
+    assert cache.lookup(0) is True
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache(100, 3, 64)  # not divisible
+
+
+def test_hit_rate_and_reset():
+    cache = make_cache()
+    cache.access(0)
+    cache.access(0)
+    assert cache.stats.hit_rate == pytest.approx(0.5)
+    cache.reset_stats()
+    assert cache.stats.accesses == 0
+    assert cache.contains(0)  # contents survive a stats reset
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_capacity_invariant(accesses):
+    cache = make_cache(lines=8, assoc=4)
+    for line in accesses:
+        cache.access(line)
+    resident = cache.resident_lines()
+    assert len(resident) <= 8
+    assert len(set(resident)) == len(resident)
+    # Set mapping invariant: each resident line maps to its set.
+    for i, ways in enumerate(cache._sets):
+        for line in ways:
+            assert line % cache.num_sets == i
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_most_recent_access_always_resident(accesses):
+    cache = make_cache(lines=8, assoc=4)
+    for line in accesses:
+        cache.access(line)
+    assert cache.contains(accesses[-1])

@@ -1,0 +1,87 @@
+"""Property test: the cache model against a brute-force LRU reference.
+
+The entire evaluation hangs off the cache simulator, so its hit/miss
+decisions are checked access-by-access against an independent, obviously
+correct implementation (per-set Python lists with explicit recency
+ordering) under randomized access/write/invalidate workloads.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache
+
+
+class ReferenceLru:
+    """Straight-line set-associative LRU, no shared code with the model."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.dirty: set[int] = set()
+        self.writebacks = 0
+
+    def access(self, line: int, write: bool) -> bool:
+        ways = self.sets[line % self.num_sets]
+        hit = line in ways
+        if hit:
+            ways.remove(line)
+        elif len(ways) == self.assoc:
+            victim = ways.pop(0)
+            if victim in self.dirty:
+                self.dirty.discard(victim)
+                self.writebacks += 1
+        ways.append(line)
+        if write:
+            self.dirty.add(line)
+        return hit
+
+    def invalidate(self, line: int) -> None:
+        ways = self.sets[line % self.num_sets]
+        if line in ways:
+            ways.remove(line)
+            self.dirty.discard(line)
+
+
+operation = st.tuples(
+    st.sampled_from(["read", "write", "invalidate"]),
+    st.integers(min_value=0, max_value=47),
+)
+
+
+@given(st.lists(operation, max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_reference(operations):
+    cache = Cache(16 * 64, associativity=4, line_size=64)  # 4 sets x 4 ways
+    reference = ReferenceLru(num_sets=4, assoc=4)
+    for op, line in operations:
+        if op == "invalidate":
+            cache.invalidate(line)
+            reference.invalidate(line)
+            continue
+        hit = cache.access(line, write=(op == "write"))
+        expected = reference.access(line, write=(op == "write"))
+        assert hit == expected, f"divergence at {op} {line}"
+    assert cache.stats.writebacks == reference.writebacks
+    assert sorted(cache.resident_lines()) == sorted(
+        line for ways in reference.sets for line in ways
+    )
+
+
+@given(st.lists(operation, max_size=200), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_cache_geometries_match_reference(operations, geometry):
+    num_sets, assoc = [(1, 16), (2, 8), (8, 2), (16, 1)][geometry]
+    cache = Cache(num_sets * assoc * 64, associativity=assoc, line_size=64)
+    reference = ReferenceLru(num_sets=num_sets, assoc=assoc)
+    for op, line in operations:
+        if op == "invalidate":
+            cache.invalidate(line)
+            reference.invalidate(line)
+        else:
+            assert cache.access(line, write=(op == "write")) == reference.access(
+                line, write=(op == "write")
+            )

@@ -1,0 +1,123 @@
+"""Tests for the MESI directory model (Table I coherence)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.pagerank import PageRank
+from repro.engine.hygra import HygraEngine
+from repro.sim.coherence import EXCLUSIVE, MODIFIED, SHARED, MesiDirectory
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+
+
+def test_first_read_is_exclusive():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    assert directory.state(0, 100) == EXCLUSIVE
+
+
+def test_second_reader_demotes_to_shared():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_read(1, 100)
+    assert directory.state(0, 100) == SHARED
+    assert directory.state(1, 100) == SHARED
+    assert directory.stats.downgrades == 1
+
+
+def test_write_invalidates_sharers():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_read(1, 100)
+    directory.on_write(0, 100)
+    assert directory.state(0, 100) == MODIFIED
+    assert directory.state(1, 100) is None
+    assert directory.stats.invalidations == 1
+
+
+def test_silent_upgrade_e_to_m():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_write(0, 100)
+    assert directory.state(0, 100) == MODIFIED
+    assert directory.stats.invalidations == 0
+    assert directory.stats.ownership_transfers == 0  # E -> M is silent
+
+
+def test_s_to_m_counts_upgrade():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_read(1, 100)
+    directory.on_evict(1, 100)
+    # Core 0 silently re-owns (sole survivor), so its write is silent too...
+    directory.on_read(1, 100)  # ...but a second sharer reappears
+    directory.on_write(0, 100)
+    assert directory.stats.invalidations == 1
+
+
+def test_read_from_remote_modified():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_write(0, 100)
+    directory.on_read(1, 100)
+    assert directory.state(0, 100) == SHARED
+    assert directory.stats.read_misses_served_remote == 1
+
+
+def test_evict_last_copy_clears_line():
+    directory = MesiDirectory()
+    directory.on_read(0, 100)
+    directory.on_evict(0, 100)
+    assert directory.sharers_of(100) == {}
+
+
+operation = st.tuples(
+    st.sampled_from(["read", "write", "evict"]),
+    st.integers(min_value=0, max_value=3),  # core
+    st.integers(min_value=0, max_value=9),  # line
+)
+
+
+@given(st.lists(operation, max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_invariants_hold_under_any_interleaving(operations):
+    directory = MesiDirectory()
+    for op, core, line in operations:
+        if op == "read":
+            directory.on_read(core, line)
+        elif op == "write":
+            directory.on_write(core, line)
+        else:
+            directory.on_evict(core, line)
+        directory.check_invariants()
+
+
+def test_full_run_respects_invariants(small_hypergraph):
+    """An entire engine run with tracking enabled keeps MESI coherent."""
+    config = scaled_config(num_cores=4, llc_kb=2).replace(track_coherence=True)
+    system = SimulatedSystem(config)
+    HygraEngine().run(PageRank(iterations=1), small_hypergraph, system)
+    directory = system.hierarchy.coherence
+    assert directory is not None
+    directory.check_invariants()
+    # PR's vertex values are written from multiple chunks: write sharing
+    # must show up as invalidation traffic.
+    assert directory.stats.invalidations > 0
+
+
+def test_tracking_off_by_default(small_hypergraph):
+    system = SimulatedSystem(scaled_config(num_cores=2))
+    assert system.hierarchy.coherence is None
+
+
+def test_tracking_does_not_change_counts(small_hypergraph):
+    base_config = scaled_config(num_cores=4, llc_kb=2)
+    plain = SimulatedSystem(base_config)
+    tracked = SimulatedSystem(base_config.replace(track_coherence=True))
+    HygraEngine().run(PageRank(iterations=1), small_hypergraph, plain)
+    HygraEngine().run(PageRank(iterations=1), small_hypergraph, tracked)
+    assert plain.dram_accesses() == tracked.dram_accesses()
+    assert plain.total_cycles == tracked.total_cycles

@@ -1,0 +1,47 @@
+"""Tests for the DRAM controller model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.dram import DramModel
+
+
+def test_record_access_counts():
+    dram = DramModel()
+    latency = dram.record_access()
+    assert latency == dram.base_latency
+    assert dram.accesses == 1
+    dram.reset()
+    assert dram.accesses == 0
+
+
+def test_peak_bandwidth_lines():
+    dram = DramModel(num_controllers=4, line_size=64, bytes_per_cycle_per_controller=5.8)
+    assert dram.peak_lines_per_cycle == pytest.approx(4 * 5.8 / 64)
+
+
+def test_contention_factor_monotone():
+    dram = DramModel()
+    low = dram.contention_factor(10, 10_000)
+    mid = dram.contention_factor(100, 10_000)
+    high = dram.contention_factor(3_000, 10_000)
+    assert 1.0 <= low <= mid <= high
+
+
+def test_contention_factor_idle():
+    dram = DramModel()
+    assert dram.contention_factor(0, 1_000) == 1.0
+    assert dram.contention_factor(10, 0) == 1.0
+
+
+def test_contention_factor_bounded():
+    dram = DramModel()
+    # Demand far beyond bandwidth saturates at the rho cap, staying finite.
+    assert dram.contention_factor(10**9, 10) < 20.0
+
+
+def test_drain_cycles():
+    dram = DramModel()
+    assert dram.drain_cycles(0) == 0
+    assert dram.drain_cycles(100) == pytest.approx(100 / dram.peak_lines_per_cycle)

@@ -1,0 +1,41 @@
+"""Additional energy-model behaviors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import scaled_config
+from repro.sim.energy import EnergyModel, EnergyReport
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.layout import ArrayId
+
+
+def test_dram_dominates_on_miss_heavy_streams():
+    hierarchy = MemoryHierarchy(scaled_config(num_cores=1, llc_kb=2))
+    # A miss-per-access stream: every line distinct.
+    for i in range(0, 8000, 8):
+        hierarchy.access(0, ArrayId.VERTEX_VALUE, i)
+    report = EnergyModel().report(hierarchy, compute_cycles=0)
+    assert report.dram_nj > report.l1_nj + report.l2_nj + report.l3_nj
+    assert report.memory_fraction > 0.5
+
+
+def test_hit_heavy_stream_spends_in_sram():
+    hierarchy = MemoryHierarchy(scaled_config(num_cores=1, llc_kb=2))
+    for _ in range(5000):
+        hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)  # one hot word
+    report = EnergyModel().report(hierarchy, compute_cycles=0)
+    assert report.l1_nj > report.dram_nj
+
+
+def test_zero_activity_report():
+    hierarchy = MemoryHierarchy(scaled_config(num_cores=1))
+    report = EnergyModel().report(hierarchy, compute_cycles=0)
+    assert report.total_nj == 0.0
+    assert report.memory_fraction == 0.0
+
+
+def test_report_is_frozen():
+    report = EnergyReport(l1_nj=1, l2_nj=1, l3_nj=1, dram_nj=1, core_nj=1)
+    with pytest.raises(Exception):
+        report.l1_nj = 5

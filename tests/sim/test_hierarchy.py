@@ -1,0 +1,126 @@
+"""Tests for the three-level hierarchy and per-array DRAM attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import scaled_config
+from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.layout import ArrayId
+
+
+def make_hierarchy(num_cores: int = 2, inclusive: bool = False) -> MemoryHierarchy:
+    config = scaled_config(num_cores=num_cores, llc_kb=2).replace(
+        inclusive_l3=inclusive
+    )
+    return MemoryHierarchy(config)
+
+
+def test_first_access_misses_to_dram():
+    hierarchy = make_hierarchy()
+    latency = hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    assert latency >= hierarchy.config.dram_latency
+    assert hierarchy.dram_accesses() == 1
+    assert hierarchy.dram_breakdown()[ArrayId.VERTEX_VALUE] == 1
+
+
+def test_second_access_hits_l1():
+    hierarchy = make_hierarchy()
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    latency = hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    assert latency == hierarchy.config.l1_latency
+    assert hierarchy.dram_accesses() == 1
+
+
+def test_same_line_elements_share_fetch():
+    hierarchy = make_hierarchy()
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 7)  # same 64B line (8B elements)
+    assert hierarchy.dram_accesses() == 1
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 8)  # next line
+    assert hierarchy.dram_accesses() == 2
+
+
+def test_cross_core_sharing_through_l3():
+    hierarchy = make_hierarchy()
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    latency = hierarchy.access(1, ArrayId.VERTEX_VALUE, 0)
+    # Core 1 misses privately but hits the shared L3: cheaper than DRAM.
+    assert latency < hierarchy.config.dram_latency
+    assert hierarchy.dram_accesses() == 1
+
+
+def test_per_array_attribution_separates_regions():
+    hierarchy = make_hierarchy()
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    hierarchy.access(0, ArrayId.HYPEREDGE_VALUE, 0)
+    breakdown = hierarchy.dram_breakdown()
+    assert breakdown[ArrayId.VERTEX_VALUE] == 1
+    assert breakdown[ArrayId.HYPEREDGE_VALUE] == 1
+
+
+def test_engine_access_fills_l2_not_l1():
+    hierarchy = make_hierarchy()
+    hierarchy.engine_access(0, ArrayId.VERTEX_VALUE, 0)
+    line = hierarchy.layout.line_of(ArrayId.VERTEX_VALUE, 0)
+    assert hierarchy.l2[0].contains(line)
+    assert not hierarchy.l1[0].contains(line)
+    # The core's subsequent demand access finds it in L2.
+    latency = hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    assert latency == hierarchy.config.l1_latency + hierarchy.config.l2_latency
+
+
+def test_engine_access_counts_dram_once():
+    hierarchy = make_hierarchy()
+    hierarchy.engine_access(0, ArrayId.OAG_EDGE, 0)
+    hierarchy.engine_access(0, ArrayId.OAG_EDGE, 1)
+    assert hierarchy.dram_breakdown()[ArrayId.OAG_EDGE] == 1
+
+
+def test_inclusive_back_invalidation():
+    hierarchy = make_hierarchy(inclusive=True)
+    config = hierarchy.config
+    l3_lines = config.l3_size // config.line_size
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    first_line = hierarchy.layout.line_of(ArrayId.VERTEX_VALUE, 0)
+    assert hierarchy.l1[0].contains(first_line)
+    # Stream enough distinct lines through one L3 set to evict line 0.
+    # Lines conflict when they share an L3 set: step by num_sets lines.
+    step = hierarchy.l3.num_sets * hierarchy.layout.elements_per_line(
+        ArrayId.VERTEX_VALUE
+    )
+    for i in range(1, config.l3_assoc + 2):
+        hierarchy.access(1, ArrayId.VERTEX_VALUE, i * step)
+    assert not hierarchy.l3.contains(first_line)
+    assert not hierarchy.l1[0].contains(first_line)
+    assert not hierarchy.l2[0].contains(first_line)
+
+
+def test_non_inclusive_keeps_private_copies():
+    hierarchy = make_hierarchy(inclusive=False)
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    first_line = hierarchy.layout.line_of(ArrayId.VERTEX_VALUE, 0)
+    step = hierarchy.l3.num_sets * hierarchy.layout.elements_per_line(
+        ArrayId.VERTEX_VALUE
+    )
+    for i in range(1, hierarchy.config.l3_assoc + 2):
+        hierarchy.access(1, ArrayId.VERTEX_VALUE, i * step)
+    assert not hierarchy.l3.contains(first_line)
+    assert hierarchy.l1[0].contains(first_line)  # survives L3 eviction
+
+
+def test_touch_sequential_equivalent_to_loop():
+    a = make_hierarchy()
+    b = make_hierarchy()
+    total_a = a.touch_sequential(0, ArrayId.INCIDENT_VERTEX, 0, 40)
+    total_b = sum(b.access(0, ArrayId.INCIDENT_VERTEX, i) for i in range(40))
+    assert total_a == total_b
+    assert a.dram_accesses() == b.dram_accesses()
+
+
+def test_reset_stats_clears_counters():
+    hierarchy = make_hierarchy()
+    hierarchy.access(0, ArrayId.VERTEX_VALUE, 0)
+    hierarchy.reset_stats()
+    assert hierarchy.dram_accesses() == 0
+    assert hierarchy.l3.stats.accesses == 0

@@ -1,0 +1,44 @@
+"""Tests for the mesh NoC latency model."""
+
+from __future__ import annotations
+
+from repro.sim.noc import MeshNoc
+
+
+def test_same_tile_zero_hops():
+    noc = MeshNoc(16)
+    assert noc.hops(5, 5) == 0
+    assert noc.latency(5, 5) == 0
+
+
+def test_manhattan_distance_4x4():
+    noc = MeshNoc(16)
+    # Tile 0 is (0,0); tile 15 is (3,3): 6 hops under X-Y routing.
+    assert noc.hops(0, 15) == 6
+    assert noc.hops(0, 3) == 3
+    assert noc.hops(0, 4) == 1  # (0,0) -> (0,1)
+
+
+def test_hops_symmetric():
+    noc = MeshNoc(16)
+    for src in range(16):
+        for dst in range(16):
+            assert noc.hops(src, dst) == noc.hops(dst, src)
+
+
+def test_latency_scales_with_router_and_link():
+    noc = MeshNoc(16, router_latency=2, link_latency=3)
+    assert noc.latency(0, 1) == 5
+    assert noc.round_trip(0, 1) == 10
+
+
+def test_non_square_core_count_padded():
+    noc = MeshNoc(6)
+    assert noc.side == 3
+    assert noc.hops(0, 5) >= 1
+
+
+def test_average_round_trip_positive():
+    noc = MeshNoc(16)
+    average = noc.average_round_trip(0)
+    assert 0 < average < noc.round_trip(0, 15) + 1

@@ -1,0 +1,72 @@
+"""Tests for the SimulatedSystem facade and the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import scaled_config
+from repro.sim.layout import ArrayId
+from repro.sim.null import NullSystem
+from repro.sim.system import SimulatedSystem
+
+
+def make_system() -> SimulatedSystem:
+    return SimulatedSystem(scaled_config(num_cores=2, llc_kb=2))
+
+
+def test_read_charges_memory_path():
+    system = make_system()
+    system.read(0, ArrayId.VERTEX_VALUE, 0)
+    system.barrier()
+    assert system.total_cycles > 0
+    assert system.breakdown.memory_stall_cycles > 0
+
+
+def test_read_serial_charges_compute():
+    system = make_system()
+    system.read_serial(0, ArrayId.OAG_EDGE, 0)
+    system.barrier()
+    assert system.breakdown.compute_cycles > 0
+    assert system.breakdown.memory_stall_cycles == 0
+
+
+def test_engine_read_charges_engine_side():
+    system = make_system()
+    system.engine_read(0, ArrayId.VERTEX_VALUE, 0)
+    system.barrier()
+    assert system.breakdown.engine_cycles > 0
+
+
+def test_write_marks_dram_attribution():
+    system = make_system()
+    system.write(0, ArrayId.HYPEREDGE_VALUE, 0)
+    assert system.dram_breakdown()[ArrayId.HYPEREDGE_VALUE] == 1
+
+
+def test_energy_report_components():
+    system = make_system()
+    for i in range(50):
+        system.read(0, ArrayId.VERTEX_VALUE, i)
+    system.charge_compute(0, 1000)
+    report = system.energy()
+    assert report.dram_nj > 0
+    assert report.l1_nj > 0
+    assert report.core_nj == pytest.approx(1000 * system.energy_model.CORE_CYCLE_NJ)
+    assert report.total_nj == pytest.approx(
+        report.l1_nj + report.l2_nj + report.l3_nj + report.dram_nj + report.core_nj
+    )
+    assert 0.0 < report.memory_fraction < 1.0
+
+
+def test_null_system_is_free():
+    system = NullSystem()
+    assert system.read(0, ArrayId.VERTEX_VALUE, 0) == 0
+    assert system.write(0, ArrayId.VERTEX_VALUE, 0) == 0
+    assert system.read_serial(0, ArrayId.OAG_EDGE, 0) == 0
+    assert system.engine_read(0, ArrayId.OAG_EDGE, 0) == 0
+    system.charge_compute(0, 10)
+    system.charge_engine(0, 10)
+    assert system.barrier() == 0.0
+    assert system.total_cycles == 0.0
+    assert system.dram_accesses() == 0
+    assert system.hierarchy is None

@@ -1,0 +1,73 @@
+"""Tests for the phase timer and barrier semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import scaled_config
+from repro.sim.timing import PhaseTimer
+
+
+def make_timer(num_cores: int = 4, mlp: float = 2.0) -> PhaseTimer:
+    return PhaseTimer(scaled_config(num_cores=num_cores).replace(mlp=mlp))
+
+
+def test_barrier_takes_slowest_core():
+    timer = make_timer()
+    timer.charge_compute(0, 100)
+    timer.charge_compute(1, 300)
+    phase = timer.barrier(sync_overhead=0)
+    assert phase == pytest.approx(300)
+
+
+def test_memory_divided_by_mlp():
+    timer = make_timer(mlp=2.0)
+    timer.charge_memory(0, 200)
+    assert timer.core_time(0) == pytest.approx(100)
+
+
+def test_engine_overlaps_with_core():
+    timer = make_timer()
+    timer.charge_compute(0, 100)
+    timer.charge_engine(0, 80)
+    assert timer.core_time(0) == pytest.approx(100)  # core-bound
+    timer.charge_engine(0, 70)  # engine now 150 > core 100
+    assert timer.core_time(0) == pytest.approx(150)  # engine-bound
+
+
+def test_barrier_resets_per_core_state():
+    timer = make_timer()
+    timer.charge_compute(0, 50)
+    timer.barrier(sync_overhead=0)
+    assert timer.core_time(0) == 0.0
+
+
+def test_breakdown_accumulates_busiest_core():
+    timer = make_timer(mlp=1.0)
+    timer.charge_compute(0, 10)
+    timer.charge_memory(1, 500)  # busiest
+    timer.barrier(sync_overhead=0)
+    assert timer.breakdown.total_cycles == pytest.approx(500)
+    assert timer.breakdown.memory_stall_cycles == pytest.approx(500)
+    assert timer.breakdown.barriers == 1
+
+
+def test_stall_fraction_bounds():
+    timer = make_timer(mlp=1.0)
+    timer.charge_compute(0, 100)
+    timer.charge_memory(0, 100)
+    timer.barrier(sync_overhead=0)
+    fraction = timer.breakdown.memory_stall_fraction
+    assert 0.0 < fraction < 1.0
+
+
+def test_stall_fraction_zero_when_idle():
+    timer = make_timer()
+    assert timer.breakdown.memory_stall_fraction == 0.0
+
+
+def test_sync_overhead_added():
+    timer = make_timer()
+    timer.charge_compute(0, 10)
+    phase = timer.barrier(sync_overhead=50)
+    assert phase == pytest.approx(60)

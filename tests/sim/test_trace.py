@@ -1,0 +1,68 @@
+"""Tests for memory-trace recording and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.engine.hygra import HygraEngine
+from repro.sim.config import scaled_config
+from repro.sim.layout import ArrayId
+from repro.sim.system import SimulatedSystem
+from repro.sim.trace import (
+    TraceEvent,
+    TracingSystem,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+
+@pytest.fixture
+def traced_run(small_hypergraph):
+    config = scaled_config(num_cores=2, llc_kb=2)
+    system = TracingSystem(config)
+    HygraEngine().run(PageRank(iterations=1), small_hypergraph, system)
+    return system, config
+
+
+def test_trace_records_accesses(traced_run):
+    system, _ = traced_run
+    assert len(system.trace) > 0
+    kinds = {event.kind for event in system.trace}
+    assert "read" in kinds and "write" in kinds
+
+
+def test_tracing_does_not_change_simulation(small_hypergraph):
+    config = scaled_config(num_cores=2, llc_kb=2)
+    plain = SimulatedSystem(config)
+    traced = TracingSystem(config)
+    a = HygraEngine().run(PageRank(iterations=1), small_hypergraph, plain)
+    b = HygraEngine().run(PageRank(iterations=1), small_hypergraph, traced)
+    assert a.dram_accesses == b.dram_accesses
+    assert a.cycles == b.cycles
+    assert np.allclose(a.result, b.result)
+
+
+def test_replay_reproduces_dram_counts(traced_run):
+    system, config = traced_run
+    hierarchy = replay(system.trace, config)
+    assert hierarchy.dram_accesses() == system.dram_accesses()
+    assert hierarchy.dram_breakdown() == system.dram_breakdown()
+
+
+def test_replay_through_bigger_cache_misses_less(traced_run):
+    system, config = traced_run
+    bigger = replay(system.trace, scaled_config(num_cores=2, llc_kb=32))
+    assert bigger.dram_accesses() <= system.dram_accesses()
+
+
+def test_trace_file_roundtrip(traced_run, tmp_path):
+    system, _ = traced_run
+    path = tmp_path / "run.trace"
+    save_trace(system.trace[:500], path)
+    loaded = load_trace(path)
+    assert loaded == system.trace[:500]
+    assert isinstance(loaded[0], TraceEvent)
+    assert isinstance(loaded[0].array, ArrayId)

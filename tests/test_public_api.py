@@ -1,0 +1,59 @@
+"""The public API surface: exports exist and __all__ lists are honest."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.algorithms",
+    "repro.baselines",
+    "repro.chgraph",
+    "repro.core",
+    "repro.engine",
+    "repro.harness",
+    "repro.hypergraph",
+    "repro.sim",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_top_level_convenience_imports():
+    import repro
+
+    for name in (
+        "Hypergraph", "Csr", "Frontier",
+        "HygraEngine", "SoftwareGlaEngine", "ChGraphEngine", "GlaResources",
+        "PageRank", "Bfs", "ConnectedComponents", "KCore",
+        "MaximalIndependentSet", "BetweennessCentrality", "Sssp", "Adsorption",
+        "RunResult",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_docstrings_present():
+    """Every public module and class in the core packages is documented."""
+    import inspect
+
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+        for name in getattr(module, "__all__", []):
+            member = getattr(module, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert member.__doc__, f"{module_name}.{name} lacks a docstring"
