@@ -10,6 +10,14 @@ The OAG is stored in CSR form with each node's neighbor list sorted in
 *descending weight order* — the paper does this precisely to avoid sorting
 during chain generation (§IV-B: "we enforce to store the CSR-based edges of
 each vertex in a descending order according to their weights").
+
+Two implementations build the same OAG: a NumPy-vectorized pipeline (the
+default, ``fast=True``) that expands every pivot row into pair arrays and
+collapses them with ``np.unique``, and the original per-element scalar
+counter kept as the reference (``fast=False``).  Both produce bit-identical
+CSRs (offsets, indices, weights) and identical ``build_operations`` counts,
+so Figure 21(a)'s preprocessing-cost reporting is unaffected by the fast
+path; ``tests/core/test_fast_parity.py`` enforces the equivalence.
 """
 
 from __future__ import annotations
@@ -19,6 +27,11 @@ import time
 from collections import defaultdict
 
 import numpy as np
+
+try:  # SpGEMM backend for the fast path; numpy-only fallback below.
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - scipy is optional
+    _sparse = None
 
 from repro.hypergraph.csr import Csr
 from repro.hypergraph.hypergraph import Hypergraph
@@ -69,15 +82,187 @@ class Oag:
         return 4 * (self.csr.offsets.size + 2 * self.csr.indices.size)
 
     def is_weight_descending(self) -> bool:
-        """Invariant check: every row's weights are non-increasing."""
+        """Invariant check: every row's weights are non-increasing.
+
+        A weight-less CSR cannot exhibit the invariant at all — it is not a
+        valid OAG payload — so it reports ``False`` rather than vacuous
+        truth; callers use this method to certify that chain generation may
+        rely on "first eligible neighbor is weight-maximal".
+        """
         weights = self.csr.weights
         if weights is None:
             return False
-        for node in range(self.num_nodes):
-            row = self.csr.neighbor_weights(node)
-            if np.any(np.diff(row) > 0):
-                return False
-        return True
+        if weights.size < 2:
+            return True
+        # One pass over the flat weights: a rise w[i] < w[i+1] violates the
+        # invariant unless position i+1 starts a new row.
+        rises = np.diff(weights) > 0
+        row_start = np.zeros(weights.size, dtype=bool)
+        starts = self.csr.offsets[1:-1]
+        row_start[starts[starts < weights.size]] = True
+        return not bool(np.any(rises & ~row_start[1:]))
+
+
+def _expand_pairs(
+    vals: np.ndarray, lens: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """All unordered within-segment pairs of ``vals``.
+
+    ``vals`` is a concatenation of segments whose lengths are ``lens``; a
+    segment of length ``d`` contributes its ``d * (d - 1) / 2`` element
+    pairs.  Returns parallel ``(left, right)`` arrays where ``left`` sits
+    earlier in its segment than ``right``.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if vals.size == 0:
+        return empty, empty
+    lens = lens.astype(np.int64, copy=False)
+    # Element at segment position p of a length-d segment leads d - 1 - p
+    # pairs, one per later element of the same segment.
+    seg_len = np.repeat(lens, lens)
+    starts = np.cumsum(lens) - lens
+    pos = np.arange(vals.size, dtype=np.int64) - np.repeat(starts, lens)
+    reps = seg_len - 1 - pos
+    total = int(reps.sum())
+    if total == 0:
+        return empty, empty
+    left = np.repeat(vals, reps)
+    # The partner of pair k in lead element g's group is vals[g + 1 + k'],
+    # with k' the offset inside the group; fold g + 1 - group_start into one
+    # per-element constant so only a single large repeat is needed.
+    shift = np.arange(vals.size, dtype=np.int64) + 1 - (np.cumsum(reps) - reps)
+    right = vals[np.arange(total, dtype=np.int64) + np.repeat(shift, reps)]
+    return left, right
+
+
+def _unique_pair_counts(
+    vals: np.ndarray, lens: np.ndarray, num_cols: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique co-occurrence pairs of ``vals`` with their multiplicities.
+
+    ``vals`` holds element ids in ``[0, num_cols)`` concatenated per
+    segment; a pair's weight is the number of segments containing both ids.
+    Returns ``(lo, hi, weight)`` with ``lo < hi``, sorted by ``(lo, hi)``.
+    Uses one sparse matrix product (``B.T @ B`` over the segment incidence)
+    when scipy is available, else a numpy repeat/advanced-indexing pipeline.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if vals.size == 0 or num_cols == 0:
+        return empty, empty, empty
+    if _sparse is not None:
+        lens = lens.astype(np.int64, copy=False)
+        indptr = np.zeros(lens.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=indptr[1:])
+        incidence = _sparse.csr_matrix(
+            (np.ones(vals.size, dtype=np.int64), vals, indptr),
+            shape=(lens.size, num_cols),
+        )
+        gram = (incidence.T @ incidence).tocsr()
+        gram.sort_indices()
+        coo = gram.tocoo()
+        upper = coo.row < coo.col  # drop the degree diagonal + mirror half
+        return (
+            coo.row[upper].astype(np.int64),
+            coo.col[upper].astype(np.int64),
+            coo.data[upper].astype(np.int64),
+        )
+    left, right = _expand_pairs(vals, lens)
+    if left.size == 0:
+        return empty, empty, empty
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    span = np.int64(num_cols)
+    keys, counts = np.unique(lo * span + hi, return_counts=True)
+    return keys // span, keys % span, counts.astype(np.int64)
+
+
+def _pairs_to_csr(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    weights: np.ndarray,
+    w_min: int,
+    first_id: int,
+    num_nodes: int,
+) -> Csr:
+    """Emit the weight-descending CSR for one node range from pair arrays."""
+    keep = weights >= w_min
+    lo = lo[keep] - first_id
+    hi = hi[keep] - first_id
+    kept = weights[keep]
+    # Each undirected overlap stores two directed slots.
+    rows = np.concatenate([lo, hi])
+    cols = np.concatenate([hi, lo])
+    flat_weights = np.concatenate([kept, kept])
+    # Row-major, weight-descending within a row, ascending id tiebreak —
+    # exactly the scalar builder's per-row sort key.
+    order = np.lexsort((cols, -flat_weights, rows))
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    if rows.size:
+        np.cumsum(np.bincount(rows, minlength=num_nodes), out=offsets[1:])
+    return Csr(offsets, cols[order], flat_weights[order])
+
+
+def _overlap_pairs_fast(
+    hypergraph: Hypergraph, side: str, first_id: int, last_id: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Vectorized :func:`_overlap_counts`: unique pairs plus operation count.
+
+    The operation count reproduces the scalar path exactly: one per incident
+    element in range, one per counted (pre-collapse) pair.
+    """
+    pivot = hypergraph.vertices if side == "hyperedge" else hypergraph.hyperedges
+    indices = pivot.indices
+    degrees = np.diff(pivot.offsets)
+    universe = (
+        hypergraph.num_hyperedges if side == "hyperedge" else hypergraph.num_vertices
+    )
+    if first_id == 0 and last_id == universe:
+        vals = indices
+        lens = degrees
+    else:
+        keep = (indices >= first_id) & (indices < last_id)
+        vals = indices[keep]
+        row_ids = np.repeat(np.arange(pivot.num_rows, dtype=np.int64), degrees)
+        lens = np.bincount(row_ids[keep], minlength=pivot.num_rows)
+    # One op per in-range incidence plus one per counted pair — the scalar
+    # loop's accounting, computed in closed form.
+    operations = int(vals.size) + int((lens * (lens - 1) // 2).sum())
+    lo, hi, weights = _unique_pair_counts(vals, lens, last_id)
+    return lo, hi, weights, operations
+
+
+def _chunk_overlap_pairs_fast(
+    hypergraph: Hypergraph, side: str, chunks: list[Chunk]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Vectorized one-pass pair counting restricted to same-chunk pairs.
+
+    Returns unique ``(lo, hi, weight)`` arrays sorted by ``lo`` (so chunk
+    ranges are contiguous) and the scalar-identical operation count.
+    """
+    pivot = hypergraph.vertices if side == "hyperedge" else hypergraph.hyperedges
+    indices = pivot.indices
+    degrees = np.diff(pivot.offsets)
+    bounds = np.array(
+        [chunk.first for chunk in chunks] + [chunks[-1].last], dtype=np.int64
+    )
+    row_ids = np.repeat(np.arange(pivot.num_rows, dtype=np.int64), degrees)
+    # Sort by (pivot row, element id) so each (row, chunk) run is contiguous;
+    # pair membership is order-independent, so the reorder is harmless.
+    order = np.lexsort((indices, row_ids))
+    vals = indices[order]
+    rows = row_ids[order]
+    if vals.size:
+        chunk_of = np.searchsorted(bounds, vals, side="right") - 1
+        new_seg = np.empty(vals.size, dtype=bool)
+        new_seg[0] = True
+        new_seg[1:] = (rows[1:] != rows[:-1]) | (chunk_of[1:] != chunk_of[:-1])
+        seg_starts = np.flatnonzero(new_seg)
+        lens = np.diff(np.append(seg_starts, vals.size))
+    else:
+        lens = np.zeros(0, dtype=np.int64)
+    operations = int(vals.size) + int((lens * (lens - 1) // 2).sum())
+    lo, hi, weights = _unique_pair_counts(vals, lens, int(bounds[-1]))
+    return lo, hi, weights, operations
 
 
 def _overlap_counts(
@@ -112,12 +297,16 @@ def build_oag(
     side: str,
     w_min: int = DEFAULT_W_MIN,
     chunk: Chunk | None = None,
+    fast: bool = True,
 ) -> Oag:
     """Build the OAG for one side, optionally restricted to a chunk.
 
     A chunk OAG contains only nodes in the chunk and only edges between two
     chunk members: each chunk is processed by one core with its own OAG
     (§IV-B), so cross-chunk overlap is intentionally invisible.
+
+    ``fast`` selects the vectorized builder; ``fast=False`` runs the scalar
+    reference.  Both yield bit-identical CSRs and operation counts.
     """
     if side not in ("hyperedge", "vertex"):
         raise ValueError(f"unknown side {side!r}")
@@ -127,10 +316,30 @@ def build_oag(
     )
     first_id = chunk.first if chunk is not None else 0
     last_id = chunk.last if chunk is not None else universe
-
-    counts, operations = _overlap_counts(hypergraph, side, first_id, last_id)
-
     num_nodes = last_id - first_id
+
+    if fast:
+        lo, hi, weights, operations = _overlap_pairs_fast(
+            hypergraph, side, first_id, last_id
+        )
+        csr = _pairs_to_csr(lo, hi, weights, w_min, first_id, num_nodes)
+    else:
+        counts, operations = _overlap_counts(hypergraph, side, first_id, last_id)
+        csr = _counts_to_csr(counts, w_min, first_id, num_nodes)
+    return Oag(
+        side=side,
+        csr=csr,
+        w_min=w_min,
+        first_id=first_id,
+        build_seconds=time.perf_counter() - start,
+        build_operations=operations,
+    )
+
+
+def _counts_to_csr(
+    counts: dict[tuple[int, int], int], w_min: int, first_id: int, num_nodes: int
+) -> Csr:
+    """The scalar reference CSR emitter (per-row Python sort)."""
     adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_nodes)]
     for (a, b), weight in counts.items():
         if weight < w_min:
@@ -145,16 +354,7 @@ def build_oag(
         entries.sort(key=lambda pair: (-pair[0], pair[1]))
         rows.append([node for _, node in entries])
         weight_rows.append([weight for weight, _ in entries])
-
-    csr = Csr.from_lists(rows, weights=weight_rows)
-    return Oag(
-        side=side,
-        csr=csr,
-        w_min=w_min,
-        first_id=first_id,
-        build_seconds=time.perf_counter() - start,
-        build_operations=operations,
-    )
+    return Csr.from_lists(rows, weights=weight_rows)
 
 
 def build_chunk_oags(
@@ -162,17 +362,45 @@ def build_chunk_oags(
     side: str,
     chunks: list[Chunk],
     w_min: int = DEFAULT_W_MIN,
+    fast: bool = True,
 ) -> list[Oag]:
     """One OAG per chunk (what each core's ChGraph engine is configured with).
 
     Built in a single pass over the pivot side: each pivot row's incident
     elements are binned by owning chunk and only same-chunk pairs counted,
     which matches :func:`build_oag`'s per-chunk output (an edge requires
-    both endpoints inside the chunk) at a fraction of the cost.
+    both endpoints inside the chunk) at a fraction of the cost.  ``fast``
+    selects the vectorized pipeline (default); the scalar reference stays
+    available for parity testing.
     """
     if not chunks:
         return []
     start = time.perf_counter()
+    if fast:
+        lo, hi, weights, operations = _chunk_overlap_pairs_fast(
+            hypergraph, side, chunks
+        )
+        elapsed = time.perf_counter() - start
+        oags = []
+        for chunk in chunks:
+            # ``lo`` ascends, and both pair endpoints share a chunk, so one
+            # binary search per boundary slices out the chunk's pairs.
+            a = np.searchsorted(lo, chunk.first, side="left")
+            b = np.searchsorted(lo, chunk.last, side="left")
+            oags.append(
+                Oag(
+                    side=side,
+                    csr=_pairs_to_csr(
+                        lo[a:b], hi[a:b], weights[a:b], w_min,
+                        chunk.first, chunk.last - chunk.first,
+                    ),
+                    w_min=w_min,
+                    first_id=chunk.first,
+                    build_seconds=elapsed / len(chunks),
+                    build_operations=operations // len(chunks),
+                )
+            )
+        return oags
     pivot = hypergraph.vertices if side == "hyperedge" else hypergraph.hyperedges
     bounds = [chunk.first for chunk in chunks] + [chunks[-1].last]
     counts: list[dict[tuple[int, int], int]] = [defaultdict(int) for _ in chunks]
@@ -200,23 +428,12 @@ def build_chunk_oags(
 
     oags = []
     for chunk, table in zip(chunks, counts):
-        num_nodes = chunk.last - chunk.first
-        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_nodes)]
-        for (a, b), weight in table.items():
-            if weight < w_min:
-                continue
-            adjacency[a - chunk.first].append((weight, b - chunk.first))
-            adjacency[b - chunk.first].append((weight, a - chunk.first))
-        rows: list[list[int]] = []
-        weight_rows: list[list[int]] = []
-        for entries in adjacency:
-            entries.sort(key=lambda pair: (-pair[0], pair[1]))
-            rows.append([node for _, node in entries])
-            weight_rows.append([weight for weight, _ in entries])
         oags.append(
             Oag(
                 side=side,
-                csr=Csr.from_lists(rows, weights=weight_rows),
+                csr=_counts_to_csr(
+                    table, w_min, chunk.first, chunk.last - chunk.first
+                ),
                 w_min=w_min,
                 first_id=chunk.first,
                 build_seconds=elapsed / len(chunks),

@@ -52,10 +52,13 @@ def _full_mode() -> bool:
 class Runner:
     """Builds engines/algorithms by name and memoizes simulation runs."""
 
-    def __init__(self, pr_iterations: int | None = None) -> None:
+    def __init__(
+        self, pr_iterations: int | None = None, fast: bool = True
+    ) -> None:
         if pr_iterations is None:
             pr_iterations = 10 if _full_mode() else 2
         self.pr_iterations = pr_iterations
+        self.fast = fast
         self._results: dict[tuple, RunResult] = {}
         self._resources: dict[tuple, GlaResources] = {}
 
@@ -81,7 +84,7 @@ class Runner:
         key = (hypergraph.name, config.num_cores)
         if key not in self._resources:
             self._resources[key] = GlaResources.build(
-                hypergraph, config.num_cores
+                hypergraph, config.num_cores, fast=self.fast
             )
         return self._resources[key]
 

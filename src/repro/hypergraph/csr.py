@@ -106,19 +106,21 @@ class Csr:
         return [list(map(int, self.neighbors(r))) for r in range(self.num_rows)]
 
     def transpose(self, num_cols: int | None = None) -> "Csr":
-        """Return the transposed adjacency (columns become rows)."""
+        """Return the transposed adjacency (columns become rows).
+
+        Each output row lists the source rows in ascending order — the
+        stable sort keeps the row-major entry order within every column.
+        """
         if num_cols is None:
             num_cols = int(self.indices.max()) + 1 if self.indices.size else 0
         counts = np.bincount(self.indices, minlength=num_cols)
         offsets = np.zeros(num_cols + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        indices = np.empty(self.indices.size, dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        for row in range(self.num_rows):
-            for col in self.neighbors(row):
-                indices[cursor[col]] = row
-                cursor[col] += 1
-        return Csr(offsets, indices)
+        rows = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(self.offsets)
+        )
+        order = np.argsort(self.indices, kind="stable")
+        return Csr(offsets, rows[order])
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Csr):

@@ -20,41 +20,75 @@ class Frontier:
 
     Maintains both the dense bitmap (what the hardware reads) and a sorted
     sparse id list (what index-ordered software iterates).
+
+    ``len()`` is cached: engines call it in per-iteration loops, so the
+    popcount is memoized while the frontier is mutated only through
+    ``add``/``discard``/``clear`` (which keep the count exact).  Reading the
+    ``bitmap`` property hands out the mutable array itself — the hardware
+    interface writes through it at arbitrary later times — so the first such
+    read permanently disables the cache for that frontier and ``len()``
+    recounts.
     """
 
-    __slots__ = ("universe", "bitmap")
+    __slots__ = ("universe", "_bitmap", "_count", "_escaped")
 
     def __init__(self, universe: int, active: Iterable[int] = ()) -> None:
         self.universe = int(universe)
-        self.bitmap = np.zeros(self.universe, dtype=bool)
+        self._bitmap = np.zeros(self.universe, dtype=bool)
+        self._count: int | None = 0
+        self._escaped = False
         for i in active:
-            self.bitmap[i] = True
+            self.add(i)
 
     @classmethod
     def all_active(cls, universe: int) -> "Frontier":
         frontier = cls(universe)
-        frontier.bitmap[:] = True
+        frontier._bitmap[:] = True
+        frontier._count = frontier.universe
         return frontier
 
     @classmethod
     def from_bitmap(cls, bitmap: np.ndarray) -> "Frontier":
         frontier = cls(bitmap.size)
-        frontier.bitmap = bitmap.astype(bool, copy=True)
+        frontier._bitmap = bitmap.astype(bool, copy=True)
+        frontier._count = None
         return frontier
+
+    @property
+    def bitmap(self) -> np.ndarray:
+        """The dense activity array (mutable; disables the ``len`` cache)."""
+        self._escaped = True
+        self._count = None
+        return self._bitmap
+
+    @bitmap.setter
+    def bitmap(self, value: np.ndarray) -> None:
+        # The caller may retain an alias to ``value``, so stay uncached.
+        self._bitmap = value
+        self._count = None
+        self._escaped = True
 
     # -- set operations ------------------------------------------------------
 
     def add(self, i: int) -> None:
-        self.bitmap[i] = True
+        if self._count is not None and not self._bitmap[i]:
+            self._count += 1
+        self._bitmap[i] = True
 
     def discard(self, i: int) -> None:
-        self.bitmap[i] = False
+        if self._count is not None and self._bitmap[i]:
+            self._count -= 1
+        self._bitmap[i] = False
 
     def __contains__(self, i: int) -> bool:
-        return bool(self.bitmap[i])
+        return bool(self._bitmap[i])
 
     def __len__(self) -> int:
-        return int(self.bitmap.sum())
+        if self._escaped:
+            return int(self._bitmap.sum())
+        if self._count is None:
+            self._count = int(self._bitmap.sum())
+        return self._count
 
     def __iter__(self) -> Iterator[int]:
         """Iterate active ids in ascending index order (Hygra's order)."""
@@ -62,16 +96,18 @@ class Frontier:
 
     def ids(self) -> np.ndarray:
         """Sorted array of active ids."""
-        return np.flatnonzero(self.bitmap)
+        return np.flatnonzero(self._bitmap)
 
     def is_empty(self) -> bool:
-        return not self.bitmap.any()
+        return len(self) == 0
 
     def clear(self) -> None:
-        self.bitmap[:] = False
+        self._bitmap[:] = False
+        if not self._escaped:
+            self._count = 0
 
     def copy(self) -> "Frontier":
-        return Frontier.from_bitmap(self.bitmap)
+        return Frontier.from_bitmap(self._bitmap)
 
     def density(self) -> float:
         """Fraction of the universe that is active."""

@@ -12,6 +12,7 @@ Supports two interchange formats:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from repro.errors import HypergraphFormatError
@@ -43,16 +44,30 @@ def save_hyperedge_list(hypergraph: Hypergraph, path: str | Path) -> None:
             handle.write(members + "\n")
 
 
+#: Header written by :func:`save_hyperedge_list`; the loader must honor it or
+#: trailing isolated vertices are silently dropped on a save→load round-trip.
+_SIZE_HEADER = re.compile(r"^[#%]\s*vertices=(\d+)\s+hyperedges=(\d+)\s*$")
+
+
 def load_hyperedge_list(
     path: str | Path, num_vertices: int | None = None, name: str | None = None
 ) -> Hypergraph:
-    """Read a hyperedge-list file written by :func:`save_hyperedge_list`."""
+    """Read a hyperedge-list file written by :func:`save_hyperedge_list`.
+
+    A ``# vertices=N hyperedges=M`` comment line fixes the vertex universe,
+    so hypergraphs whose highest-numbered vertices are isolated round-trip
+    exactly.  An explicit ``num_vertices`` argument takes precedence.
+    """
     path = Path(path)
     hyperedges: list[list[int]] = []
+    header_vertices: int | None = None
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line or line.startswith(("#", "%")):
+                match = _SIZE_HEADER.match(line)
+                if match is not None:
+                    header_vertices = int(match.group(1))
                 continue
             try:
                 members = [int(token) for token in line.split()]
@@ -61,6 +76,8 @@ def load_hyperedge_list(
                     f"{path}:{line_number}: not an integer list: {line!r}"
                 ) from exc
             hyperedges.append(members)
+    if num_vertices is None:
+        num_vertices = header_vertices
     return Hypergraph.from_hyperedge_lists(
         hyperedges, num_vertices=num_vertices, name=name or path.stem
     )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.chgraph.area import area_report
-from repro.sim.config import SystemConfig, scaled_config
+from repro.sim.config import scaled_config
 
 
 def test_buffer_sizes_match_paper():

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.oag import DEFAULT_W_MIN, build_chunk_oags, build_oag
+from repro.hypergraph.csr import Csr
 from repro.hypergraph.generators import generate_affiliation_hypergraph, AffiliationConfig
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import contiguous_chunks
@@ -168,3 +168,33 @@ def test_oag_vertex_side_weights_property(hyperedges):
             mine = set(map(int, hypergraph.incident_hyperedges(node)))
             theirs = set(map(int, hypergraph.incident_hyperedges(int(neighbor))))
             assert int(weight) == len(mine & theirs)
+
+
+def test_is_weight_descending_rejects_weightless_csr(figure1):
+    """A weight-less CSR is not a valid OAG payload, so the invariant fails.
+
+    This is intentional (not vacuous truth): every builder emits weights,
+    and a missing weights array means the structure cannot drive the
+    greedy maximal-overlap selection at all.
+    """
+    from repro.core.oag import Oag
+
+    oag = build_oag(figure1, "hyperedge", w_min=1)
+    stripped = Oag(
+        csr=Csr(oag.csr.offsets, oag.csr.indices, None),
+        side=oag.side,
+        w_min=oag.w_min,
+        first_id=oag.first_id,
+    )
+    assert oag.is_weight_descending()
+    assert not stripped.is_weight_descending()
+
+
+def test_is_weight_descending_allows_rise_across_row_boundary():
+    """Only within-row rises violate the invariant; row starts may jump up."""
+    from repro.core.oag import Oag
+
+    csr = Csr.from_lists([[1], [0, 2], [1]], weights=[[1], [9, 3], [9]])
+    assert Oag(csr=csr, side="hyperedge", w_min=1).is_weight_descending()
+    bad = Csr.from_lists([[1, 2], [0], [0]], weights=[[3, 9], [3], [9]])
+    assert not Oag(csr=bad, side="hyperedge", w_min=1).is_weight_descending()

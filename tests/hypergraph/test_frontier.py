@@ -80,3 +80,38 @@ def test_add_then_discard_yields_difference(first, second):
     for i in second:
         frontier.discard(i)
     assert set(frontier.ids()) == first - second
+
+
+def test_len_cache_tracks_direct_bitmap_mutation():
+    """Engines write through .bitmap in place; len() must stay correct."""
+    frontier = Frontier(8, [0, 1])
+    assert len(frontier) == 2
+    bitmap = frontier.bitmap  # hardware-style alias, mutated below
+    bitmap[5] = True
+    assert len(frontier) == 3
+    bitmap[0] = False
+    bitmap[1] = False
+    assert len(frontier) == 1
+
+
+def test_len_cache_tracks_add_discard_interleaved():
+    frontier = Frontier(16)
+    for i in range(10):
+        frontier.add(i)
+    assert len(frontier) == 10
+    frontier.add(3)  # duplicate add must not double-count
+    assert len(frontier) == 10
+    frontier.discard(3)
+    frontier.discard(3)  # duplicate discard must not double-subtract
+    assert len(frontier) == 9
+    frontier.clear()
+    assert len(frontier) == 0
+    frontier.add(15)
+    assert len(frontier) == 1
+
+
+def test_bitmap_setter_invalidates_count():
+    frontier = Frontier.all_active(6)
+    assert len(frontier) == 6
+    frontier.bitmap = np.zeros(6, dtype=bool)
+    assert len(frontier) == 0

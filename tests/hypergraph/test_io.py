@@ -125,3 +125,35 @@ def test_matrix_market_errors(tmp_path):
     empty.write_text("")
     with pytest.raises(HypergraphFormatError):
         load_matrix_market(empty)
+
+
+def test_hyperedge_list_roundtrip_trailing_isolated_vertex(tmp_path):
+    """The size header must preserve isolated vertices past the max seen id."""
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    hypergraph = Hypergraph.from_hyperedge_lists(
+        [[0, 1], [1, 2]], num_vertices=6, name="isolated-tail"
+    )
+    path = tmp_path / "isolated.hgr"
+    save_hyperedge_list(hypergraph, path)
+    loaded = load_hyperedge_list(path)
+    assert loaded.num_vertices == 6
+    assert loaded.hyperedges == hypergraph.hyperedges
+    assert loaded.vertices == hypergraph.vertices
+
+
+def test_hyperedge_list_explicit_num_vertices_beats_header(tmp_path):
+    from repro.hypergraph.hypergraph import Hypergraph
+
+    hypergraph = Hypergraph.from_hyperedge_lists([[0, 1]], num_vertices=4)
+    path = tmp_path / "override.hgr"
+    save_hyperedge_list(hypergraph, path)
+    loaded = load_hyperedge_list(path, num_vertices=9)
+    assert loaded.num_vertices == 9
+
+
+def test_hyperedge_list_headerless_infers_from_ids(tmp_path):
+    path = tmp_path / "bare.hgr"
+    path.write_text("# free-form comment, not a size header\n0 3\n1 2\n")
+    loaded = load_hyperedge_list(path)
+    assert loaded.num_vertices == 4

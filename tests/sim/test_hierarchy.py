@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.sim.config import scaled_config
 from repro.sim.hierarchy import MemoryHierarchy
