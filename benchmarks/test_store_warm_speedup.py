@@ -1,0 +1,86 @@
+"""Warm artifact-store loads vs cold GlaResources builds on OK.
+
+Guards the tentpole claim of the store PR: ``GlaResources.build_or_load``
+against a prewarmed store is at least 5× faster than a cold build on the
+OK dataset, the loaded artifact is bit-identical to a freshly built one,
+and a corrupted on-disk entry degrades to a rebuild rather than a crash.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine import GlaResources
+from repro.hypergraph.generators import paper_dataset
+from repro.store import ArtifactStore, hypergraph_content_hash, resources_key
+
+MIN_SPEEDUP = 5.0
+NUM_CORES = 16
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_store_warm_speedup(benchmark, emit, tmp_path):
+    hypergraph = paper_dataset("OK")
+    store = ArtifactStore(tmp_path)
+
+    def measure():
+        cold, cold_s = _timed(
+            lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
+        )
+        assert store.stats.writes == 1  # cold pass populated the store
+        warm, warm_s = _timed(
+            lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
+        )
+        assert store.stats.hits == 1
+
+        # Parity: the loaded artifact is bit-identical to the built one.
+        for a, b in zip(
+            (*cold.vertex_oags, *cold.hyperedge_oags),
+            (*warm.vertex_oags, *warm.hyperedge_oags),
+            strict=True,
+        ):
+            assert np.array_equal(a.csr.offsets, b.csr.offsets)
+            assert np.array_equal(a.csr.indices, b.csr.indices)
+            assert np.array_equal(a.csr.weights, b.csr.weights)
+        assert cold.build_operations == warm.build_operations
+        assert cold.storage_bytes() == warm.storage_bytes()
+
+        # Corruption: truncate the payload; next load rebuilds, no crash.
+        key = resources_key(
+            hypergraph_content_hash(hypergraph), NUM_CORES, cold.w_min, cold.d_max
+        )
+        path = store._payload_path("resources", key)
+        path.write_bytes(path.read_bytes()[:64])
+        rebuilt, rebuild_s = _timed(
+            lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
+        )
+        assert store.stats.corruptions == 1
+        assert rebuilt.storage_bytes() == cold.storage_bytes()
+
+        rows = [
+            ["cold build_or_load (miss)", round(cold_s * 1e3, 1)],
+            ["warm build_or_load (hit)", round(warm_s * 1e3, 1)],
+            ["corrupted entry (rebuild)", round(rebuild_s * 1e3, 1)],
+            ["warm speedup", round(cold_s / warm_s, 1)],
+        ]
+        title = (
+            f"Artifact-store warm speedup — {hypergraph.name} "
+            f"({hypergraph.num_hyperedges} hyperedges, {NUM_CORES} cores)"
+        )
+        return title, ["quantity", "value (ms / ×)"], rows
+
+    rows = emit(
+        "store_warm_speedup",
+        benchmark.pedantic(measure, rounds=1, iterations=1),
+    )
+    speedup = rows[3][1]
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm load only {speedup}x faster than cold build (need ≥{MIN_SPEEDUP}x)"
+    )

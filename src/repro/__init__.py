@@ -31,11 +31,13 @@ from repro.engine import (
     SoftwareGlaEngine,
 )
 from repro.hypergraph import Csr, Frontier, Hypergraph
+from repro.store import ArtifactStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Adsorption",
+    "ArtifactStore",
     "BetweennessCentrality",
     "Bfs",
     "ChGraphEngine",

@@ -12,6 +12,15 @@ Commands
     Regenerate one paper table/figure by id (e.g. ``fig14``, ``table2``).
 ``area``
     Print the §VI-E area/power accounting.
+``prewarm``
+    Build GlaResources for dataset × core-count combos in parallel and
+    persist them into the artifact store.
+``cache``
+    Inspect or maintain the artifact store (``stats``/``ls``/``gc``/``clear``).
+
+The artifact store root comes from ``--cache-dir`` or ``$REPRO_CACHE_DIR``;
+``run``/``compare``/``experiment`` transparently reuse persisted artifacts
+whenever the environment variable is set.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from repro.harness.report import render_table
 from repro.harness.runner import Runner
 from repro.hypergraph.generators import PAPER_DATASETS
 from repro.sim.config import scaled_config
+from repro.store import ArtifactStore, prewarm, prewarm_jobs, resolve_cache_dir
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +111,45 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one paper table/figure"
     )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+
+    def add_cache_dir_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact store root (default: $REPRO_CACHE_DIR)",
+        )
+
+    pre = sub.add_parser(
+        "prewarm",
+        help="build and persist GlaResources for dataset/core combos",
+    )
+    add_cache_dir_arg(pre)
+    pre.add_argument(
+        "--datasets",
+        default=",".join(PAPER_DATASETS),
+        help="comma-separated dataset keys (default: all Table II)",
+    )
+    pre.add_argument(
+        "--cores",
+        default="16",
+        help="comma-separated core counts (default: 16)",
+    )
+    pre.add_argument("--w-min", type=int, default=None, help="OAG pruning threshold")
+    pre.add_argument("--d-max", type=int, default=None, help="chain depth bound")
+    pre.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: one per job, capped at CPUs)",
+    )
+
+    cache = sub.add_parser("cache", help="inspect or maintain the artifact store")
+    cache.add_argument(
+        "action", choices=("stats", "ls", "gc", "clear"), help="maintenance action"
+    )
+    add_cache_dir_arg(cache)
+    cache.add_argument(
+        "--max-mb", type=float, default=None,
+        help="size bound for gc, in megabytes",
+    )
     return parser
 
 
@@ -167,8 +216,95 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    title, headers, rows = EXPERIMENTS[args.id](Runner())
+    runner = Runner()
+    title, headers, rows = EXPERIMENTS[args.id](runner)
     print(render_table(headers, rows, title=title))
+    if runner.store is not None:
+        print(f"cache: {runner.store.stats} ({runner.store.root})")
+    return 0
+
+
+def _open_store(args: argparse.Namespace) -> ArtifactStore | None:
+    root = resolve_cache_dir(args.cache_dir)
+    if root is None:
+        print(
+            "no artifact store configured: pass --cache-dir or set "
+            "$REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return None
+    return ArtifactStore(root)
+
+
+def _cmd_prewarm(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    datasets = [d for d in args.datasets.split(",") if d]
+    core_counts = [int(c) for c in args.cores.split(",") if c]
+    kwargs = {}
+    if args.w_min is not None:
+        kwargs["w_min"] = args.w_min
+    if args.d_max is not None:
+        kwargs["d_max"] = args.d_max
+    jobs = prewarm_jobs(datasets, core_counts, **kwargs)
+    reports = prewarm(store.root, jobs, workers=args.workers)
+    rows = [
+        [
+            r.job.dataset,
+            r.job.num_cores,
+            "built" if r.built else "cached",
+            round(r.seconds, 3),
+            round(r.payload_bytes / 1024, 1),
+            r.key[:12],
+        ]
+        for r in reports
+    ]
+    print(
+        render_table(
+            ["Dataset", "Cores", "Status", "Seconds", "KB", "Key"],
+            rows,
+            title=f"Prewarmed {len(reports)} artifact(s) into {store.root}",
+        )
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 2
+    if args.action == "stats":
+        entries = store.ls()
+        by_kind: dict[str, int] = {}
+        for entry in entries:
+            by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+        rows = [
+            ["root", str(store.root)],
+            ["entries", len(entries)],
+            *[[f"entries: {kind}", count] for kind, count in sorted(by_kind.items())],
+            ["disk KB", round(store.disk_bytes() / 1024, 1)],
+        ]
+        print(render_table(["Quantity", "Value"], rows, title="Artifact store"))
+    elif args.action == "ls":
+        rows = [
+            [e.kind, e.key, round(e.size_bytes / 1024, 1)] for e in store.ls()
+        ]
+        print(
+            render_table(
+                ["Kind", "Key", "KB"], rows,
+                title=f"Artifact store — {store.root}",
+            )
+        )
+    elif args.action == "gc":
+        if args.max_mb is None:
+            print("cache gc requires --max-mb", file=sys.stderr)
+            return 2
+        evicted = store.gc(int(args.max_mb * 1024 * 1024))
+        print(f"evicted {evicted} entr{'y' if evicted == 1 else 'ies'}")
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
     return 0
 
 
@@ -181,6 +317,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "prewarm": _cmd_prewarm,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -3,12 +3,14 @@
 Both the software GLA engine and ChGraph consume per-chunk OAGs for each
 side.  Building them is the paper's extra preprocessing step (Figure 21);
 the artifacts are reusable across algorithms, which is how the paper argues
-the overhead amortises.
+the overhead amortises.  :meth:`GlaResources.build_or_load` extends that
+amortization across processes via the persistent :mod:`repro.store`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 
 from repro.core.chain import DEFAULT_D_MAX
@@ -70,6 +72,54 @@ class GlaResources:
             build_operations=operations,
             fast=fast,
         )
+
+    @classmethod
+    def build_or_load(
+        cls,
+        hypergraph: Hypergraph,
+        num_cores: int,
+        w_min: int = DEFAULT_W_MIN,
+        d_max: int = DEFAULT_D_MAX,
+        fast: bool = True,
+        store=None,
+    ) -> "GlaResources":
+        """:meth:`build`, persisted through an artifact ``store``.
+
+        With ``store`` (an :class:`~repro.store.ArtifactStore`), the
+        content-addressed entry for this hypergraph + parameter combination
+        is loaded when present and bit-identical to a fresh build; on a
+        miss — including checksum or schema failures, which the store
+        reports as misses — the resources are built and written back.
+        ``store=None`` degrades to a plain build.
+        """
+        if store is None:
+            return cls.build(hypergraph, num_cores, w_min=w_min, d_max=d_max, fast=fast)
+        from repro.store.keys import resources_key
+
+        key = resources_key(hypergraph.content_hash(), num_cores, w_min, d_max)
+        resources = store.get_resources(key)
+        if resources is None:
+            resources = cls.build(
+                hypergraph, num_cores, w_min=w_min, d_max=d_max, fast=fast
+            )
+            store.put_resources(key, resources)
+        return resources
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the npz artifact payload to ``path`` (no store manifest)."""
+        from repro.store.serialize import resources_to_bytes
+
+        with open(path, "wb") as fh:
+            fh.write(resources_to_bytes(self))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "GlaResources":
+        """Inverse of :meth:`save`; raises
+        :class:`~repro.store.SerializationError` on a malformed payload."""
+        from repro.store.serialize import resources_from_bytes
+
+        with open(path, "rb") as fh:
+            return resources_from_bytes(fh.read())
 
     def oags_for(self, src_side: str) -> list[Oag]:
         """The per-chunk OAGs for the side a phase schedules."""

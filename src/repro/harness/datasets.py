@@ -14,12 +14,27 @@ import random
 from repro.hypergraph.generators import paper_dataset
 from repro.hypergraph.hypergraph import Hypergraph
 
-__all__ = ["hypergraph_dataset", "graph_dataset", "GRAPH_DATASETS"]
+__all__ = [
+    "hypergraph_dataset",
+    "graph_dataset",
+    "clear_dataset_cache",
+    "GRAPH_DATASETS",
+]
 
 #: The two §VI-I ordinary-graph datasets, in paper order.
 GRAPH_DATASETS: tuple[str, ...] = ("AZ", "PK")
 
 _cache: dict[tuple[str, float], Hypergraph] = {}
+
+
+def clear_dataset_cache() -> None:
+    """Drop every module-cached dataset instance.
+
+    Tests that mutate generator behaviour (or assert cold-path timings,
+    e.g. the store benchmarks) use this to force regeneration; production
+    code never needs it.
+    """
+    _cache.clear()
 
 
 def hypergraph_dataset(key: str, scale: float = 1.0) -> Hypergraph:

@@ -34,7 +34,7 @@ class Hypergraph:
         Optional dataset name used in reports.
     """
 
-    __slots__ = ("hyperedges", "vertices", "name", "directed")
+    __slots__ = ("hyperedges", "vertices", "name", "directed", "_content_hash")
 
     def __init__(
         self,
@@ -55,6 +55,7 @@ class Hypergraph:
         self.vertices = vertices
         self.name = name
         self.directed = directed
+        self._content_hash: str | None = None
 
     @staticmethod
     def _validate(hyperedges: Csr, vertices: Csr, directed: bool) -> None:
@@ -124,6 +125,20 @@ class Hypergraph:
     def incident_hyperedges(self, v: int) -> np.ndarray:
         """``N(v)``: the hyperedges containing vertex ``v``."""
         return self.vertices.neighbors(v)
+
+    def content_hash(self) -> str:
+        """Stable sha256 hex digest of the structural payload.
+
+        Covers both CSR directions and the ``directed`` flag — not the
+        ``name`` — so it is the identity artifact caches key on
+        (:mod:`repro.store`).  The structure is immutable, hence the digest
+        is computed once and memoized.
+        """
+        if self._content_hash is None:
+            from repro.store.keys import hypergraph_content_hash
+
+            self._content_hash = hypergraph_content_hash(self)
+        return self._content_hash
 
     def hyperedges_overlap(self, h1: int, h2: int) -> bool:
         """Whether two hyperedges share at least one vertex."""

@@ -1,0 +1,100 @@
+"""Content-addressed cache keys for persisted preprocessing artifacts.
+
+Every artifact in the store is addressed by a stable hash of *what produced
+it*, never by dataset name: the hypergraph payload (both bipartite CSR
+directions, byte-exact), the preprocessing parameters (``num_cores``,
+``w_min``, ``d_max``), and a schema version.  Renaming a dataset keeps its
+cache entries valid; regenerating it with different structure invalidates
+them automatically.
+
+``fast`` is deliberately *not* part of any key: the vectorized and scalar
+builders are parity-tested to produce bit-identical artifacts
+(``tests/core/test_fast_parity.py``), so either may serve the other's cache
+entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "hypergraph_content_hash",
+    "resources_key",
+    "run_result_key",
+]
+
+#: Bump when the on-disk artifact layout changes; old entries are then
+#: invisible (they live under a different schema directory) and simply
+#: rebuilt, never misread.
+STORE_SCHEMA_VERSION = 1
+
+
+def _hash_arrays(h: "hashlib._Hash", *arrays: np.ndarray) -> None:
+    """Feed arrays into ``h`` with dtype/shape framing so that e.g. an
+    empty-offsets/indices swap cannot collide."""
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        frame = f"{a.dtype.str}:{a.shape}".encode()
+        h.update(len(frame).to_bytes(4, "little"))
+        h.update(frame)
+        h.update(a.tobytes())
+
+
+def hypergraph_content_hash(hypergraph) -> str:
+    """The sha256 hex digest of a hypergraph's structural payload.
+
+    Covers both CSR directions plus the ``directed`` flag; excludes the
+    display ``name``.  Two hypergraphs share a hash iff their bipartite
+    structures are byte-identical.
+    """
+    h = hashlib.sha256(b"repro/hypergraph/v1")
+    h.update(b"directed" if hypergraph.directed else b"undirected")
+    _hash_arrays(
+        h,
+        hypergraph.hyperedges.offsets,
+        hypergraph.hyperedges.indices,
+        hypergraph.vertices.offsets,
+        hypergraph.vertices.indices,
+    )
+    return h.hexdigest()
+
+
+def resources_key(
+    content_hash: str, num_cores: int, w_min: int, d_max: int
+) -> str:
+    """Store key for the :class:`~repro.engine.resources.GlaResources` built
+    from the hypergraph with ``content_hash`` under the given parameters."""
+    h = hashlib.sha256(b"repro/resources/")
+    h.update(
+        f"v{STORE_SCHEMA_VERSION}:{content_hash}:"
+        f"cores={num_cores}:w_min={w_min}:d_max={d_max}".encode()
+    )
+    return h.hexdigest()[:32]
+
+
+def run_result_key(
+    engine: str,
+    algorithm: str,
+    dataset_hash: str,
+    config,
+    pr_iterations: int,
+) -> str:
+    """Store key for one memoized simulation run.
+
+    ``config`` is a frozen :class:`~repro.sim.config.SystemConfig`; its full
+    field set is hashed (via a sorted-key JSON dump) so modified copies get
+    distinct entries, mirroring the in-process memo.
+    """
+    config_json = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    h = hashlib.sha256(b"repro/run/")
+    h.update(
+        f"v{STORE_SCHEMA_VERSION}:{engine}:{algorithm}:{dataset_hash}:"
+        f"pr={pr_iterations}:".encode()
+    )
+    h.update(config_json.encode())
+    return h.hexdigest()[:32]

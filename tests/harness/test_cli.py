@@ -67,3 +67,45 @@ def test_experiment_command_cheap(capsys):
     assert "Table I" in capsys.readouterr().out
     assert main(["experiment", "vi_e"]) == 0
     assert "area" in capsys.readouterr().out.lower()
+
+
+def test_cache_commands_require_a_store(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "stats"]) == 2
+    assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+
+def test_prewarm_and_cache_lifecycle(capsys, tmp_path):
+    cache = str(tmp_path / "cache")
+    code = main([
+        "prewarm", "--cache-dir", cache,
+        "--datasets", "WEB", "--cores", "4", "--workers", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "built" in out
+
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "resources" in out
+
+    assert main(["cache", "ls", "--cache-dir", cache]) == 0
+    assert "resources" in capsys.readouterr().out
+
+    assert main(["cache", "gc", "--cache-dir", cache]) == 2  # needs --max-mb
+    capsys.readouterr()
+    assert main(["cache", "gc", "--cache-dir", cache, "--max-mb", "0"]) == 0
+    assert "evicted 1" in capsys.readouterr().out
+
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_experiment_reports_cache_stats_when_enabled(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["experiment", "fig21"]) == 0
+    cold = capsys.readouterr().out
+    assert "cache:" in cold and "5 writes" in cold
+    assert main(["experiment", "fig21"]) == 0
+    warm = capsys.readouterr().out
+    assert "5 hits" in warm and "0 misses" in warm

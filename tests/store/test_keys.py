@@ -1,0 +1,59 @@
+"""Content hashes and store keys: stable, name-blind, parameter-sensitive."""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.sim.config import scaled_config
+from repro.store import hypergraph_content_hash, resources_key, run_result_key
+
+EDGES = [[0, 4, 6], [1, 2, 3, 5], [0, 2, 4], [1, 3, 6]]
+
+
+def _figure1(name: str = "figure1") -> Hypergraph:
+    return Hypergraph.from_hyperedge_lists(EDGES, num_vertices=7, name=name)
+
+
+def test_content_hash_is_deterministic_and_name_blind():
+    a = _figure1("one")
+    b = _figure1("two")
+    assert a.content_hash() == b.content_hash()
+    assert a.content_hash() == hypergraph_content_hash(a)
+    assert len(a.content_hash()) == 64
+
+
+def test_content_hash_memoized_on_instance():
+    hg = _figure1()
+    assert hg.content_hash() is hg.content_hash()
+
+
+def test_content_hash_tracks_structure():
+    base = _figure1()
+    changed = Hypergraph.from_hyperedge_lists(
+        [[0, 4, 6], [1, 2, 3, 5], [0, 2, 4], [1, 3, 5]], num_vertices=7
+    )
+    padded = Hypergraph.from_hyperedge_lists(EDGES, num_vertices=8)
+    assert base.content_hash() != changed.content_hash()
+    assert base.content_hash() != padded.content_hash()
+
+
+def test_resources_key_covers_every_parameter(figure1):
+    h = figure1.content_hash()
+    baseline = resources_key(h, 4, 3, 16)
+    assert baseline == resources_key(h, 4, 3, 16)
+    assert baseline != resources_key(h, 8, 3, 16)
+    assert baseline != resources_key(h, 4, 5, 16)
+    assert baseline != resources_key(h, 4, 3, 32)
+    assert baseline != resources_key("0" * 64, 4, 3, 16)
+
+
+def test_run_result_key_covers_config_and_iterations(figure1):
+    h = figure1.content_hash()
+    config = scaled_config()
+    base = run_result_key("ChGraph", "PR", h, config, 2)
+    assert base == run_result_key("ChGraph", "PR", h, config, 2)
+    assert base != run_result_key("Hygra", "PR", h, config, 2)
+    assert base != run_result_key("ChGraph", "BFS", h, config, 2)
+    assert base != run_result_key("ChGraph", "PR", h, config, 10)
+    assert base != run_result_key(
+        "ChGraph", "PR", h, scaled_config(num_cores=4), 2
+    )

@@ -16,6 +16,7 @@ MODULES = [
     "repro.harness",
     "repro.hypergraph",
     "repro.sim",
+    "repro.store",
     "repro.cli",
 ]
 
