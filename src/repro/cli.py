@@ -10,6 +10,10 @@ Commands
     Run Hygra, software GLA and ChGraph on one workload side by side.
 ``experiment``
     Regenerate one paper table/figure by id (e.g. ``fig14``, ``table2``).
+``bench``
+    Regenerate a set of figures, executing their combined run matrix on
+    the sharded parallel executor (``--jobs N --timeout S``); the tables
+    are byte-identical to serial execution.
 ``area``
     Print the §VI-E area/power accounting.
 ``prewarm``
@@ -119,6 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="artifact store root (default: $REPRO_CACHE_DIR)",
         )
 
+    bench = sub.add_parser(
+        "bench",
+        help="regenerate figures via the sharded parallel executor",
+    )
+    bench.add_argument(
+        "--figures",
+        default="all",
+        help="comma-separated experiment ids (default: every experiment)",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 forces serial)",
+    )
+    bench.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-run timeout in seconds, enforced inside workers",
+    )
+    bench.add_argument(
+        "--retries", type=int, default=2,
+        help="retries for crashed/hung worker shards (default: 2)",
+    )
+    add_cache_dir_arg(bench)
+
     pre = sub.add_parser(
         "prewarm",
         help="build and persist GlaResources for dataset/core combos",
@@ -224,6 +251,45 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    ids = (
+        list(EXPERIMENTS)
+        if args.figures == "all"
+        else [f for f in args.figures.split(",") if f]
+    )
+    unknown = [f for f in ids if f not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner = Runner(cache_dir=args.cache_dir)
+    if runner.store is None and (args.jobs is None or args.jobs > 1):
+        print(
+            "bench: no artifact store (--cache-dir/$REPRO_CACHE_DIR); "
+            "executing serially in-process",
+            file=sys.stderr,
+        )
+    specs = registry.run_matrix(ids)
+    runner.run_many(
+        specs, jobs=args.jobs, timeout=args.timeout, retries=args.retries
+    )
+    for experiment_id in ids:
+        title, headers, rows = EXPERIMENTS[experiment_id](runner)
+        print(render_table(headers, rows, title=title))
+        print()
+    report = runner.last_execution_report
+    if report is not None:
+        retried = len(report.retried())
+        print(
+            f"bench: {len(report.reports)} runs in {len(report.shards)} "
+            f"shard(s), jobs={report.jobs}, "
+            f"parallel={'yes' if report.parallel else 'no'}, "
+            f"retried-inline={retried}, {report.seconds:.2f}s"
+        )
+    if runner.store is not None:
+        print(f"cache: {runner.store.stats} ({runner.store.root})")
+    return 0
+
+
 def _open_store(args: argparse.Namespace) -> ArtifactStore | None:
     root = resolve_cache_dir(args.cache_dir)
     if root is None:
@@ -317,6 +383,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "bench": _cmd_bench,
         "prewarm": _cmd_prewarm,
         "cache": _cmd_cache,
     }

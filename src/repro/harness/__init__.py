@@ -1,13 +1,26 @@
-"""Experiment harness: dataset registry, memoized runner, report tables."""
+"""Experiment harness: dataset registry, memoized runner, report tables,
+and the sharded parallel experiment executor."""
 
 from repro.harness.datasets import graph_dataset, hypergraph_dataset
+from repro.harness.parallel import (
+    ExecutionReport,
+    RunReport,
+    RunSpec,
+    execute_runs,
+    plan_shards,
+)
 from repro.harness.report import render_table
 from repro.harness.runner import Runner, get_runner
 
 __all__ = [
+    "ExecutionReport",
+    "RunReport",
+    "RunSpec",
     "Runner",
+    "execute_runs",
     "get_runner",
     "graph_dataset",
     "hypergraph_dataset",
+    "plan_shards",
     "render_table",
 ]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.chgraph.area import area_report
 from repro.engine import ChGraphEngine, GlaResources, HygraEngine, RunResult
 from repro.harness.datasets import GRAPH_DATASETS
+from repro.harness.parallel import RunSpec
 from repro.harness.runner import PAPER_APPS, Runner
 from repro.hypergraph.generators import PAPER_DATASETS
 from repro.harness.report import with_bars
@@ -20,6 +21,8 @@ from repro.sim.config import scaled_config, table1_config
 from repro.sim.system import SimulatedSystem
 
 __all__ = [
+    "RUN_MATRICES",
+    "run_matrix",
     "table1_rows",
     "table2_rows",
     "fig02_memory_accesses",
@@ -49,6 +52,89 @@ __all__ = [
 #: per operation.
 PREPROCESS_OP_CYCLES = 2.0
 OAG_OP_CYCLES = 0.5
+
+
+# -- run matrices ------------------------------------------------------------
+
+
+def _specs(
+    engines: tuple[str, ...],
+    apps: tuple[str, ...],
+    datasets: tuple[str, ...],
+    config=None,
+) -> list[RunSpec]:
+    """The cross product of engines × apps × datasets as run specs."""
+    return [
+        RunSpec(engine=e, algorithm=a, dataset=d, config=config)
+        for a in apps
+        for d in datasets
+        for e in engines
+    ]
+
+
+def _fig19_specs() -> list[RunSpec]:
+    return [
+        RunSpec("ChGraph", "PR", "WEB", scaled_config(llc_kb=llc))
+        for llc in (2, 4, 6, 8)
+    ]
+
+
+def _fig20_specs() -> list[RunSpec]:
+    return [
+        spec
+        for n in (4, 8, 16)
+        for spec in _specs(
+            ("Hygra", "ChGraph"), ("PR",), ("WEB",), scaled_config(num_cores=n)
+        )
+    ]
+
+
+#: The ``runner.run`` matrix each figure consumes, declared up front so the
+#: sharded executor (:mod:`repro.harness.parallel`) can run a whole figure
+#: suite in parallel before the figure functions assemble their tables from
+#: warm cache hits.  Figures whose runs use bespoke resources (fig17/fig18
+#: sweeps, fig24's reordered engines) or no runs at all declare only their
+#: ``runner.run``-driven subset, or nothing.
+RUN_MATRICES = {
+    "fig02": lambda: _specs(("Hygra", "GLA", "ChGraph"), ("PR",), ("WEB",)),
+    "fig03": lambda: _specs(("Hygra", "GLA", "ChGraph"), ("PR",), ("WEB",)),
+    "fig05": lambda: _specs(("Hygra",), ("BFS", "PR", "BC", "CC"), PAPER_DATASETS),
+    "fig07": lambda: _specs(("HATS-V", "ChGraph"), ("BFS", "PR"), PAPER_DATASETS),
+    "fig14": lambda: _specs(("Hygra", "GLA", "ChGraph"), PAPER_APPS, PAPER_DATASETS),
+    "fig15": lambda: _specs(("Hygra", "ChGraph"), PAPER_APPS, PAPER_DATASETS),
+    "fig16": lambda: _specs(
+        ("GLA", "ChGraph-HCGonly", "ChGraph"), PAPER_APPS, ("WEB",)
+    ),
+    "fig19": _fig19_specs,
+    "fig20": _fig20_specs,
+    "fig22": lambda: _specs(("Hygra", "ChGraph"), ("BFS", "PR", "CC"), PAPER_DATASETS),
+    "fig23": lambda: _specs(
+        ("EventPrefetcher", "ChGraph", "Hygra"), ("BFS", "PR", "CC"), PAPER_DATASETS
+    ),
+    "fig24": lambda: _specs(("Hygra", "ChGraph"), ("PR",), ("WEB",)),
+    "fig25": lambda: _specs(
+        ("Ligra", "HATS-V", "ChGraph"), ("Adsorption", "SSSP"), GRAPH_DATASETS
+    ),
+    "summary": lambda: _specs(
+        ("Hygra", "ChGraph", "GLA"), ("BFS", "PR", "CC"), PAPER_DATASETS
+    ),
+}
+
+
+def run_matrix(ids) -> list[RunSpec]:
+    """The deduplicated union run matrix of the given experiment ids.
+
+    Ids without a declared matrix (config tables, bespoke-resource sweeps)
+    contribute nothing; order follows first occurrence, so equal id lists
+    always produce the identical matrix — the shard planner relies on that
+    determinism.
+    """
+    specs: list[RunSpec] = []
+    for experiment_id in ids:
+        factory = RUN_MATRICES.get(experiment_id)
+        if factory is not None:
+            specs.extend(factory())
+    return list(dict.fromkeys(specs))
 
 
 # -- configuration tables ----------------------------------------------------

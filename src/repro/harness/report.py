@@ -55,11 +55,17 @@ def with_bars(
 
     Turns a regenerated table into something shaped like the paper's bar
     charts: the largest value spans ``width`` characters, the rest scale.
+    A positive value always gets at least one character so tiny bars stay
+    visible; zero and negative values render an *empty* bar — "0 accesses"
+    must not look nonzero.
     """
     values = [float(row[value_index]) for row in rows]
     peak = max(values, default=0.0)
     out = []
     for row, value in zip(rows, values):
-        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        if peak > 0 and value > 0:
+            bar = "#" * max(1, round(width * value / peak))
+        else:
+            bar = ""
         out.append([*row, bar])
     return out

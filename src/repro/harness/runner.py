@@ -88,6 +88,8 @@ class Runner:
         resolved = resolve_cache_dir(cache_dir)
         #: The persistent artifact store, or ``None`` when caching is off.
         self.store = ArtifactStore(resolved) if resolved is not None else None
+        #: The last :meth:`run_many` parallel execution report, if any.
+        self.last_execution_report = None
 
     # -- factories -----------------------------------------------------------
 
@@ -175,11 +177,14 @@ class Runner:
                self.pr_iterations)
         if key in self._results:
             return self._results[key]
+        # One dataset resolution serves both the store lookup (content
+        # hash) and the simulation itself — loading twice doubled the
+        # generator cost on every store-enabled cache miss.
+        hypergraph = self.dataset(dataset_key)
         store_key = None
         if self.store is not None:
             from repro.store import run_result_key
 
-            hypergraph = self.dataset(dataset_key)
             store_key = run_result_key(
                 engine_name,
                 algorithm_name,
@@ -191,7 +196,6 @@ class Runner:
             if cached is not None:
                 self._results[key] = cached
                 return cached
-        hypergraph = self.dataset(dataset_key)
         engine = self.engine(engine_name, hypergraph, config)
         algorithm = self.algorithm(algorithm_name)
         system = SimulatedSystem(config)
@@ -200,6 +204,61 @@ class Runner:
         if store_key is not None:
             self.store.put_run_result(store_key, result)
         return result
+
+    def run_many(
+        self,
+        specs,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        retries: int = 2,
+    ):
+        """Batch :meth:`run`: execute a whole run matrix, sharded in parallel.
+
+        ``specs`` is an iterable of :class:`~repro.harness.parallel.RunSpec`
+        (or ``(engine, algorithm, dataset[, config])`` tuples).  With a
+        persistent store and ``jobs > 1``, the matrix is executed by the
+        sharded :func:`~repro.harness.parallel.execute_runs` executor —
+        workers fill the shared store, then this process assembles every
+        result from warm hits, so the returned values are identical to
+        serial execution.  Without a store (or ``jobs <= 1``) the batch
+        degrades to the plain serial loop.
+
+        Returns ``{spec: RunResult}``; the executor's
+        :class:`~repro.harness.parallel.ExecutionReport` (or ``None`` when
+        it was skipped) is left on :attr:`last_execution_report`.
+        """
+        from repro.harness.parallel import RunSpec, execute_runs
+
+        specs = [
+            spec if isinstance(spec, RunSpec) else RunSpec(*spec)
+            for spec in specs
+        ]
+        unique = list(dict.fromkeys(specs))
+        self.last_execution_report = None
+        pending = [
+            spec for spec in unique
+            if (spec.engine, spec.algorithm, spec.dataset,
+                spec.resolved_config(), self.pr_iterations)
+            not in self._results
+        ]
+        if self.store is not None and len(pending) > 1 and (
+            jobs is None or jobs > 1
+        ):
+            self.last_execution_report = execute_runs(
+                pending,
+                cache_dir=self.store.root,
+                jobs=jobs,
+                timeout=timeout,
+                retries=retries,
+                pr_iterations=self.pr_iterations,
+                fast=self.fast,
+                w_min=self.w_min,
+                d_max=self.d_max,
+            )
+        return {
+            spec: self.run(spec.engine, spec.algorithm, spec.dataset, spec.config)
+            for spec in unique
+        }
 
     def speedup(
         self,
@@ -215,12 +274,28 @@ class Runner:
         return run.speedup_over(base)
 
 
-_runner: Runner | None = None
+_runners: dict[tuple, Runner] = {}
+
+
+def _environment_key() -> tuple:
+    """What the shared runner's construction read from the environment."""
+    from repro.store import resolve_cache_dir
+
+    cache = resolve_cache_dir(None)
+    return (None if cache is None else str(cache), _full_mode())
 
 
 def get_runner() -> Runner:
-    """The process-wide shared runner (benchmarks reuse its memo cache)."""
-    global _runner
-    if _runner is None:
-        _runner = Runner()
-    return _runner
+    """The process-wide shared runner (benchmarks reuse its memo cache).
+
+    Keyed on the resolved environment (``$REPRO_CACHE_DIR``,
+    ``$REPRO_BENCH_FULL``): changing either after the first call yields a
+    runner matching the *current* environment instead of silently reusing
+    the first-constructed one.  Repeated calls under one environment keep
+    returning the same instance, preserving its memo caches.
+    """
+    key = _environment_key()
+    runner = _runners.get(key)
+    if runner is None:
+        runner = _runners[key] = Runner()
+    return runner

@@ -107,7 +107,12 @@ class Frontier:
             self._count = 0
 
     def copy(self) -> "Frontier":
-        return Frontier.from_bitmap(self._bitmap)
+        clone = Frontier.from_bitmap(self._bitmap)
+        if not self._escaped:
+            # The source count is exact, and the clone owns a fresh bitmap:
+            # carry the popcount over instead of forcing an O(n) recount.
+            clone._count = self._count
+        return clone
 
     def density(self) -> float:
         """Fraction of the universe that is active."""

@@ -19,6 +19,7 @@ from repro.store.keys import (
     resources_key,
     run_result_key,
 )
+from repro.store.pool import TaskOutcome, run_tasks
 from repro.store.prewarm import PrewarmJob, PrewarmReport, prewarm, prewarm_jobs
 from repro.store.serialize import SerializationError
 from repro.store.store import (
@@ -36,10 +37,12 @@ __all__ = [
     "SerializationError",
     "StoreEntry",
     "StoreStats",
+    "TaskOutcome",
     "hypergraph_content_hash",
     "prewarm",
     "prewarm_jobs",
     "resolve_cache_dir",
     "resources_key",
     "run_result_key",
+    "run_tasks",
 ]

@@ -14,7 +14,6 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
 from repro.core.chain import DEFAULT_D_MAX
@@ -22,6 +21,7 @@ from repro.core.oag import DEFAULT_W_MIN
 from repro.engine.resources import GlaResources
 from repro.harness.datasets import GRAPH_DATASETS, graph_dataset, hypergraph_dataset
 from repro.store.keys import hypergraph_content_hash, resources_key
+from repro.store.pool import run_tasks
 from repro.store.store import ArtifactStore
 
 __all__ = ["PrewarmJob", "PrewarmReport", "prewarm", "prewarm_jobs"]
@@ -68,12 +68,13 @@ def _resolve_dataset(key: str):
     return hypergraph_dataset(key)
 
 
-def _run_job(store_dir: str, job: PrewarmJob, fast: bool) -> PrewarmReport:
+def _run_job(payload: tuple[str, PrewarmJob, bool]) -> PrewarmReport:
     """Worker body: build (or find) one artifact in the store.
 
-    Top-level so :class:`ProcessPoolExecutor` can pickle it; each worker
-    opens its own store handle on the shared directory.
+    Top-level so the process pool can pickle it; each worker opens its own
+    store handle on the shared directory.
     """
+    store_dir, job, fast = payload
     store = ArtifactStore(store_dir)
     hypergraph = _resolve_dataset(job.dataset)
     key = resources_key(
@@ -113,15 +114,13 @@ def prewarm(
 
     ``workers=None`` picks ``min(len(jobs), cpu_count)``; ``workers<=1``
     runs inline (no process pool), which is also the fallback for
-    single-job calls.
+    single-job calls.  Pool failures are absorbed by the shared
+    :func:`~repro.store.pool.run_tasks` machinery: a crashed worker's jobs
+    are retried and, as a last resort, built inline in this process.
     """
     store_dir = str(Path(store_dir))
     if not jobs:
         return []
-    if workers is None:
-        workers = min(len(jobs), os.cpu_count() or 1)
-    if workers <= 1 or len(jobs) == 1:
-        return [_run_job(store_dir, job, fast) for job in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_job, store_dir, job, fast) for job in jobs]
-        return [future.result() for future in futures]
+    payloads = [(store_dir, job, fast) for job in jobs]
+    outcomes = run_tasks(_run_job, payloads, workers=workers)
+    return [outcome.value for outcome in outcomes]

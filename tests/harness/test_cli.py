@@ -69,6 +69,36 @@ def test_experiment_command_cheap(capsys):
     assert "area" in capsys.readouterr().out.lower()
 
 
+def test_bench_rejects_unknown_figures(capsys):
+    assert main(["bench", "--figures", "fig99", "--jobs", "1"]) == 2
+    assert "fig99" in capsys.readouterr().err
+
+
+def test_bench_without_store_warns_and_degrades(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["bench", "--figures", "table1,vi_e"]) == 0
+    captured = capsys.readouterr()
+    assert "executing serially in-process" in captured.err
+    assert "Table I" in captured.out
+    assert "area" in captured.out.lower()
+
+
+def test_bench_parallel_smoke(capsys, tmp_path, monkeypatch):
+    """A tiny two-job bench run completes and reports its shard plan."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    # fig02's matrix is three PR-on-WEB runs: small enough for a test,
+    # real enough to cross the executor's parallel path.
+    code = main([
+        "bench", "--figures", "fig02", "--jobs", "2", "--timeout", "300",
+        "--cache-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "bench:" in out and "parallel=yes" in out
+    assert "cache:" in out
+
+
 def test_cache_commands_require_a_store(capsys, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     assert main(["cache", "stats"]) == 2

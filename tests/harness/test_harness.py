@@ -132,3 +132,86 @@ def test_with_bars_empty_and_zero():
     assert with_bars([], 0) == []
     rows = with_bars([["x", 0.0]], 1)
     assert rows[0][-1] == ""
+
+
+def test_with_bars_zero_row_renders_empty_bar():
+    """A zero value next to nonzero peers must not get a 1-char bar —
+    '0 accesses' has to *look* like zero in the regenerated figure."""
+    from repro.harness.report import with_bars
+
+    rows = with_bars([["a", 10], ["b", 0], ["c", 0.0]], 1, width=10)
+    assert rows[0][-1] == "#" * 10
+    assert rows[1][-1] == ""
+    assert rows[2][-1] == ""
+
+
+def test_with_bars_negative_rows_render_empty_bar():
+    from repro.harness.report import with_bars
+
+    rows = with_bars([["a", 5], ["b", -3]], 1, width=10)
+    assert rows[0][-1] == "#" * 10
+    assert rows[1][-1] == ""
+    # All-negative rows: no positive peak, every bar empty.
+    rows = with_bars([["a", -5], ["b", -3]], 1, width=10)
+    assert [row[-1] for row in rows] == ["", ""]
+
+
+def test_with_bars_tiny_positive_values_stay_visible():
+    from repro.harness.report import with_bars
+
+    rows = with_bars([["a", 1000], ["b", 1]], 1, width=10)
+    assert rows[1][-1] == "#"
+
+
+def test_runner_loads_dataset_once_per_store_miss(tmp_path, monkeypatch):
+    """The store-enabled miss path used to call ``dataset()`` twice (once
+    for the content hash, once for the simulation)."""
+    from repro.sim.config import scaled_config
+
+    small = hypergraph_dataset("FS", scale=0.15)
+    calls = {"n": 0}
+
+    def counting_dataset(key):
+        calls["n"] += 1
+        return small
+
+    config = scaled_config(num_cores=4, llc_kb=2)
+    cold = Runner(pr_iterations=1, cache_dir=tmp_path)
+    monkeypatch.setattr(cold, "dataset", counting_dataset)
+    cold.run("Hygra", "BFS", "FS", config)
+    assert calls["n"] == 1
+    # Memo hit: no dataset resolution at all.
+    cold.run("Hygra", "BFS", "FS", config)
+    assert calls["n"] == 1
+
+    # Warm store hit in a fresh runner: one load (for the content hash).
+    warm = Runner(pr_iterations=1, cache_dir=tmp_path)
+    monkeypatch.setattr(warm, "dataset", counting_dataset)
+    warm.run("Hygra", "BFS", "FS", config)
+    assert calls["n"] == 2
+    assert warm.store.stats.hits >= 1
+
+
+def test_get_runner_tracks_environment_changes(tmp_path, monkeypatch):
+    """Setting $REPRO_CACHE_DIR or $REPRO_BENCH_FULL after the first call
+    must not be silently ignored by a frozen singleton."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+    plain = get_runner()
+    assert plain.store is None
+    assert plain is get_runner()  # stable under an unchanged environment
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cached = get_runner()
+    assert cached is not plain
+    assert cached.store is not None and cached.store.root == tmp_path
+
+    monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+    full = get_runner()
+    assert full is not cached
+    assert full.pr_iterations == 10
+
+    # Reverting the environment returns the matching runner, memo intact.
+    monkeypatch.delenv("REPRO_BENCH_FULL")
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert get_runner() is plain

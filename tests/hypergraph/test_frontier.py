@@ -52,6 +52,31 @@ def test_copy_is_independent():
     assert 2 in other
 
 
+def test_copy_preserves_exact_count():
+    """Copying an unescaped frontier must carry the cached popcount over
+    instead of forcing an O(n) recount of an exactly-known frontier."""
+    frontier = Frontier(64, [1, 5, 9])
+    assert len(frontier) == 3  # count is exact before the copy
+    clone = frontier.copy()
+    assert clone._count == 3
+    assert len(clone) == 3
+    # The clone's count stays live through its own mutations.
+    clone.add(10)
+    assert clone._count == 4 and len(frontier) == 3
+
+
+def test_copy_of_escaped_frontier_recounts():
+    """Once the source bitmap escaped, its count may be stale: the copy
+    must recount rather than inherit it."""
+    frontier = Frontier(8, [0, 1])
+    frontier.bitmap[5] = True  # escape + mutate through the alias
+    clone = frontier.copy()
+    assert clone._count is None
+    assert len(clone) == 3
+    # The clone owns a fresh bitmap, so *its* cache works normally.
+    assert clone._count == 3
+
+
 def test_clear():
     frontier = Frontier.all_active(4)
     frontier.clear()
