@@ -28,6 +28,7 @@ from repro.engine.chgraph_engine import ChGraphEngine
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
+from repro.sim.protocol import MemorySystem
 
 __all__ = ["HatsVEngine", "bdfs_order"]
 
@@ -94,7 +95,7 @@ class HatsVEngine(ChGraphEngine):
 
     def _generate_chunk(
         self,
-        system: object,
+        system: MemorySystem,
         frontier: Frontier,
         chunk: Chunk,
         oag,
@@ -122,7 +123,7 @@ class HatsVEngine(ChGraphEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

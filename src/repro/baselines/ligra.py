@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.algorithms.base import HypergraphAlgorithm
 from repro.engine.hygra import HygraEngine
+from repro.engine.result import RunResult
 from repro.errors import EngineError
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.sim.protocol import MemorySystem
 
 __all__ = ["LigraEngine"]
 
@@ -23,7 +26,12 @@ class LigraEngine(HygraEngine):
 
     name = "Ligra"
 
-    def run(self, algorithm, hypergraph: Hypergraph, system=None):
+    def run(
+        self,
+        algorithm: HypergraphAlgorithm,
+        hypergraph: Hypergraph,
+        system: MemorySystem | None = None,
+    ) -> RunResult:
         degrees = np.diff(hypergraph.hyperedges.offsets)
         if degrees.size and degrees.max() > 2:
             raise EngineError(

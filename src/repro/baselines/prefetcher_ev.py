@@ -20,6 +20,7 @@ from repro.engine.base import ExecutionEngine, PhaseSpec
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
+from repro.sim.protocol import MemorySystem
 from repro.sim.layout import ArrayId
 
 __all__ = ["EventPrefetcherEngine"]
@@ -30,8 +31,13 @@ class EventPrefetcherEngine(ExecutionEngine):
 
     name = "EventPrefetcher"
 
-    def _prepare(self, hypergraph, system, chunks) -> None:
-        hierarchy = getattr(system, "hierarchy", None)
+    def _prepare(
+        self,
+        hypergraph: Hypergraph,
+        system: MemorySystem,
+        chunks: dict[str, list[Chunk]],
+    ) -> None:
+        hierarchy = system.hierarchy
         if hierarchy is not None:
             self._engine_access = hierarchy.engine_access
             self._dram_counter = hierarchy.dram
@@ -41,7 +47,7 @@ class EventPrefetcherEngine(ExecutionEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

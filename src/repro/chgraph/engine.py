@@ -21,6 +21,7 @@ by the performance engine.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -111,7 +112,9 @@ class ChGraphDevice:
                 break
             self.tuple_fifo.push(entry)
 
-    def _tuple_stream(self, registers: ChGraphConfigRegisters):
+    def _tuple_stream(
+        self, registers: ChGraphConfigRegisters
+    ) -> Iterator[BipartiteTuple]:
         """HCG chains feeding the CP's tuple packing, as one generator."""
         generator = ChainGenerator(
             d_max=min(registers.d_max, self.config.stack_depth)

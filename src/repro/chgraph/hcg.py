@@ -12,6 +12,9 @@ the OAG walk.
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
+
+import numpy as np
 
 from repro.core.chain import ChainGenerator, ChainProbe, ChainSet
 from repro.core.oag import Oag
@@ -39,7 +42,7 @@ class _HcgProbe(ChainProbe):
 
     def __init__(
         self,
-        access: "callable[[int, ArrayId, int], int]",
+        access: Callable[[int, ArrayId, int], int],
         core: int,
         cost: HcgCost,
         edge_base: int,
@@ -84,10 +87,10 @@ class HardwareChainGenerator:
 
     def generate(
         self,
-        active,
+        active: np.ndarray,
         oag: Oag,
         core: int,
-        access,
+        access: Callable[[int, ArrayId, int], int],
         edge_base: int = 0,
         dense: bool = False,
     ) -> tuple[ChainSet, HcgCost]:

@@ -11,11 +11,12 @@ effective MLP (bounded by the FIFO depths).
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 from repro.engine.base import PhaseSpec
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.sim.config import SystemConfig
+from repro.sim.layout import ArrayId
 
 __all__ = ["CpCost", "ChainPrefetcher"]
 
@@ -46,7 +47,7 @@ class ChainPrefetcher:
         hypergraph: Hypergraph,
         spec: PhaseSpec,
         core: int,
-        access,
+        access: Callable[[int, ArrayId, int], int],
     ) -> CpCost:
         """Issue all prefetches for ``order``; returns the cost summary.
 
@@ -65,7 +66,7 @@ class ChainPrefetcher:
         hypergraph: Hypergraph,
         spec: PhaseSpec,
         core: int,
-        access,
+        access: Callable[[int, ArrayId, int], int],
         cost: CpCost,
     ) -> None:
         """Prefetch one chain element's bipartite edges into ``cost``.
@@ -77,7 +78,7 @@ class ChainPrefetcher:
         csr = hypergraph.side(spec.src_side)
         offsets = csr.offsets
 
-        def load(array, index) -> None:
+        def load(array: ArrayId, index: int) -> None:
             cost.requests += 1
             cost.overlapped_latency += access(core, array, index)
 

@@ -8,6 +8,9 @@ Commands
     Simulate one (engine, algorithm, dataset) and print the result summary.
 ``compare``
     Run Hygra, software GLA and ChGraph on one workload side by side.
+``profile``
+    Run engines on one workload under instrumentation and print per-phase
+    cycle/DRAM breakdowns plus the per-iteration frontier timeline.
 ``experiment``
     Regenerate one paper table/figure by id (e.g. ``fig14``, ``table2``).
 ``bench``
@@ -33,8 +36,9 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.engine.registry import engine_names
 from repro.harness import experiments as registry
-from repro.harness.report import render_table
+from repro.harness.report import render_table, render_telemetry
 from repro.harness.runner import Runner
 from repro.hypergraph.generators import PAPER_DATASETS
 from repro.sim.config import scaled_config
@@ -42,10 +46,9 @@ from repro.store import ArtifactStore, prewarm, prewarm_jobs, resolve_cache_dir
 
 __all__ = ["main", "build_parser"]
 
-ENGINES = (
-    "Hygra", "GLA", "ChGraph", "ChGraph-HCGonly", "ChGraph-CPonly",
-    "HATS-V", "EventPrefetcher", "Ligra",
-)
+#: Every registered engine, in registry order — the single source of truth
+#: for ``--engine`` choices is :mod:`repro.engine.registry`.
+ENGINES = engine_names()
 ALGORITHMS = ("BFS", "PR", "MIS", "BC", "CC", "k-core", "SSSP", "Adsorption")
 
 #: Experiment ids resolvable by the ``experiment`` command.
@@ -111,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_workload_args(compare)
 
+    profile = sub.add_parser(
+        "profile",
+        help="instrumented runs: per-phase and per-iteration telemetry",
+    )
+    profile.add_argument(
+        "--engines",
+        default="Hygra,GLA,ChGraph",
+        help="comma-separated engines to profile (default: Hygra,GLA,ChGraph)",
+    )
+    add_workload_args(profile)
+
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
     )
@@ -143,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--retries", type=int, default=2,
         help="retries for crashed/hung worker shards (default: 2)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run under instrumentation and append a telemetry summary "
+             "(tables are unchanged: observation charges nothing)",
     )
     add_cache_dir_arg(bench)
 
@@ -242,6 +261,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    engines = [e for e in args.engines.split(",") if e]
+    unknown = [e for e in engines if e not in ENGINES]
+    if unknown:
+        print(f"unknown engine(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner, config = _runner_and_config(args)
+    for engine in engines:
+        result = runner.run(
+            engine, args.algorithm, args.dataset, config, profile=True
+        )
+        label = f"{engine} — {args.algorithm} on {args.dataset}"
+        if result.telemetry is None:
+            print(f"{label}: no telemetry recorded", file=sys.stderr)
+            return 1
+        print(render_telemetry(result.telemetry, label))
+        print()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     runner = Runner()
     title, headers, rows = EXPERIMENTS[args.id](runner)
@@ -269,12 +308,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     specs = registry.run_matrix(ids)
-    runner.run_many(
-        specs, jobs=args.jobs, timeout=args.timeout, retries=args.retries
+    results = runner.run_many(
+        specs, jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        profile=args.profile,
     )
     for experiment_id in ids:
         title, headers, rows = EXPERIMENTS[experiment_id](runner)
         print(render_table(headers, rows, title=title))
+        print()
+    if args.profile:
+        rows = []
+        for spec, result in results.items():
+            telemetry = result.telemetry
+            if telemetry is None:
+                continue
+            by_phase = {
+                name: profile.cycles
+                for name, profile in telemetry.phases.items()
+            }
+            rows.append([
+                spec.label(),
+                by_phase.get("hyperedge", 0.0),
+                by_phase.get("vertex", 0.0),
+                telemetry.mean_frontier_density,
+                result.dram_accesses,
+            ])
+        print(
+            render_table(
+                ["run", "hyperedge cyc", "vertex cyc", "mean density", "DRAM"],
+                rows,
+                title="Profile summary",
+            )
+        )
         print()
     report = runner.last_execution_report
     if report is not None:
@@ -382,6 +447,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "area": _cmd_area,
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "profile": _cmd_profile,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
         "prewarm": _cmd_prewarm,

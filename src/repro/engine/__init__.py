@@ -6,12 +6,20 @@ from repro.engine.gla_soft import SoftwareGlaEngine
 from repro.engine.hygra import HygraEngine
 from repro.engine.interleaved import InterleavedHygraEngine
 from repro.engine.pull import PullHygraEngine
+from repro.engine.registry import (
+    ENGINE_REGISTRY,
+    EngineSpec,
+    create_engine,
+    engine_names,
+)
 from repro.engine.resources import GlaResources
 from repro.engine.result import RunResult
 
 __all__ = [
+    "ENGINE_REGISTRY",
     "PHASE_SPECS",
     "ChGraphEngine",
+    "EngineSpec",
     "ExecutionEngine",
     "GlaResources",
     "HygraEngine",
@@ -20,4 +28,6 @@ __all__ = [
     "PhaseSpec",
     "RunResult",
     "SoftwareGlaEngine",
+    "create_engine",
+    "engine_names",
 ]

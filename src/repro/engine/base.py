@@ -24,6 +24,15 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk, contiguous_chunks
 from repro.sim.layout import ArrayId
 from repro.sim.null import NullSystem
+from repro.sim.observe import InstrumentedSystem
+from repro.sim.protocol import (
+    ITERATION_BEGIN,
+    ITERATION_END,
+    PHASE_BEGIN,
+    PHASE_END,
+    EngineEvent,
+    MemorySystem,
+)
 
 __all__ = ["ExecutionEngine", "PhaseSpec", "PHASE_SPECS"]
 
@@ -81,11 +90,12 @@ class ExecutionEngine(abc.ABC):
         self,
         algorithm: HypergraphAlgorithm,
         hypergraph: Hypergraph,
-        system: object | None = None,
+        system: MemorySystem | None = None,
     ) -> RunResult:
         """Execute ``algorithm`` to convergence on ``hypergraph``.
 
-        ``system`` is a :class:`~repro.sim.system.SimulatedSystem` (full
+        ``system`` is any :class:`~repro.sim.protocol.MemorySystem` —
+        typically a :class:`~repro.sim.system.SimulatedSystem` (full
         cache/timing simulation) or ``None`` for a pure semantic run.
         """
         if system is None:
@@ -97,13 +107,24 @@ class ExecutionEngine(abc.ABC):
             PHASE_VERTEX: contiguous_chunks(hypergraph.num_hyperedges, num_cores),
         }
         self._prepare(hypergraph, system, chunks)
+        emit = system.on_event
 
         state = algorithm.init_state(hypergraph)
         iteration = 0
         while True:
             algorithm.begin_iteration(state, hypergraph, iteration)
+            emit(EngineEvent(ITERATION_BEGIN, iteration))
 
             algorithm.begin_phase(state, hypergraph, PHASE_HYPEREDGE)
+            emit(
+                EngineEvent(
+                    PHASE_BEGIN,
+                    iteration,
+                    phase=PHASE_HYPEREDGE,
+                    frontier_size=len(state.frontier_v),
+                    frontier_density=state.frontier_v.density(),
+                )
+            )
             activated = Frontier(hypergraph.num_hyperedges)
             self._run_phase(
                 system,
@@ -119,8 +140,18 @@ class ExecutionEngine(abc.ABC):
                 state, hypergraph, PHASE_HYPEREDGE, activated
             )
             system.barrier()
+            emit(EngineEvent(PHASE_END, iteration, phase=PHASE_HYPEREDGE))
 
             algorithm.begin_phase(state, hypergraph, PHASE_VERTEX)
+            emit(
+                EngineEvent(
+                    PHASE_BEGIN,
+                    iteration,
+                    phase=PHASE_VERTEX,
+                    frontier_size=len(state.frontier_e),
+                    frontier_density=state.frontier_e.density(),
+                )
+            )
             activated = Frontier(hypergraph.num_vertices)
             self._run_phase(
                 system,
@@ -136,6 +167,8 @@ class ExecutionEngine(abc.ABC):
                 state, hypergraph, PHASE_VERTEX, activated
             )
             system.barrier()
+            emit(EngineEvent(PHASE_END, iteration, phase=PHASE_VERTEX))
+            emit(EngineEvent(ITERATION_END, iteration))
 
             if algorithm.finished(state, hypergraph, iteration):
                 break
@@ -157,7 +190,7 @@ class ExecutionEngine(abc.ABC):
     def _prepare(
         self,
         hypergraph: Hypergraph,
-        system: object,
+        system: MemorySystem,
         chunks: dict[str, list[Chunk]],
     ) -> None:
         """Per-run setup (GLA engines attach per-chunk OAGs here)."""
@@ -165,7 +198,7 @@ class ExecutionEngine(abc.ABC):
     @abc.abstractmethod
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,
@@ -182,15 +215,24 @@ class ExecutionEngine(abc.ABC):
         """Chain statistics accumulated during the run (GLA engines)."""
         return {}
 
+    def _fifo_stats(self) -> dict[str, float]:
+        """Accelerator queue-occupancy statistics (ChGraph engines)."""
+        return {}
+
     def _build_result(
         self,
         algorithm: HypergraphAlgorithm,
         hypergraph: Hypergraph,
-        system: object,
+        system: MemorySystem,
         state: AlgorithmState,
         iterations: int,
     ) -> RunResult:
-        breakdown = getattr(system, "breakdown", None)
+        breakdown = system.breakdown
+        telemetry = None
+        if isinstance(system, InstrumentedSystem):
+            telemetry = system.telemetry(
+                chain_stats=self._chain_stats(), fifo=self._fifo_stats()
+            )
         return RunResult(
             engine=self.name,
             algorithm=algorithm.name,
@@ -199,12 +241,11 @@ class ExecutionEngine(abc.ABC):
             vertex_values=state.vertex_values.copy(),
             hyperedge_values=state.hyperedge_values.copy(),
             iterations=iterations,
-            cycles=getattr(system, "total_cycles", 0.0),
-            compute_cycles=breakdown.compute_cycles if breakdown else 0.0,
-            memory_stall_cycles=(
-                breakdown.memory_stall_cycles if breakdown else 0.0
-            ),
+            cycles=system.total_cycles,
+            compute_cycles=breakdown.compute_cycles,
+            memory_stall_cycles=breakdown.memory_stall_cycles,
             dram_accesses=system.dram_accesses(),
             dram_by_array=system.dram_breakdown(),
             chain_stats=self._chain_stats(),
+            telemetry=telemetry,
         )

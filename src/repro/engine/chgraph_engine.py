@@ -21,6 +21,7 @@ from repro.algorithms.base import AlgorithmState, HypergraphAlgorithm
 from repro.chgraph.hcg import HardwareChainGenerator
 from repro.chgraph.prefetcher import ChainPrefetcher, CpCost
 from repro.core.chain import ChainGenerator
+from repro.core.oag import Oag
 from repro.engine.base import ExecutionEngine, PhaseSpec
 from repro.engine.gla_soft import _SoftwareChainProbe
 from repro.engine.resources import GlaResources
@@ -28,6 +29,8 @@ from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
 from repro.sim.layout import ArrayId
+from repro.sim.observe import InstrumentedSystem
+from repro.sim.protocol import MemorySystem
 
 __all__ = ["ChGraphEngine"]
 
@@ -57,13 +60,16 @@ class ChGraphEngine(ExecutionEngine):
             self.name = "ChGraph-HCGonly"
         self._stats: dict[str, float] = {}
         self._dense_chain_cache: dict[str, list[list[int]]] = {}
+        self._profiling = False
+        self._max_chain_length = 0
+        self._chain_fifo_depth = 0
 
     # -- setup ------------------------------------------------------------------
 
     def _prepare(
         self,
         hypergraph: Hypergraph,
-        system: object,
+        system: MemorySystem,
         chunks: dict[str, list[Chunk]],
     ) -> None:
         if self.resources is None or self.resources.num_cores != (
@@ -83,7 +89,11 @@ class ChGraphEngine(ExecutionEngine):
             "generations": 0.0,
         }
         self._dense_chain_cache = {}
-        hierarchy = getattr(system, "hierarchy", None)
+        # Occupancy stats are only worth collecting under instrumentation.
+        self._profiling = isinstance(system, InstrumentedSystem)
+        self._max_chain_length = 0
+        self._chain_fifo_depth = system.config.chain_fifo_depth
+        hierarchy = system.hierarchy
         if hierarchy is not None:
             self._engine_access = hierarchy.engine_access
             self._dram_counter = hierarchy.dram
@@ -94,11 +104,28 @@ class ChGraphEngine(ExecutionEngine):
     def _chain_stats(self) -> dict[str, float]:
         return dict(self._stats)
 
+    def _fifo_stats(self) -> dict[str, float]:
+        """Chain-FIFO occupancy: the HCG stalls once a chain outgrows it.
+
+        The longest chain bounds how deep the FIFO ever fills; the depth
+        itself caps it (Algorithm 3 emits and blocks at ``chain_fifo_depth``).
+        Collected only under instrumentation.
+        """
+        if not self._profiling:
+            return {}
+        return {
+            "chain_fifo_depth": float(self._chain_fifo_depth),
+            "chain_fifo_peak": float(
+                min(self._chain_fifo_depth, self._max_chain_length)
+            ),
+            "max_chain_length": float(self._max_chain_length),
+        }
+
     # -- phase execution -----------------------------------------------------
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,
@@ -107,6 +134,7 @@ class ChGraphEngine(ExecutionEngine):
         chunks: list[Chunk],
         activated: Frontier,
     ) -> None:
+        assert self.resources is not None
         config = system.config
         dense = algorithm.dense_frontier
         oags = self.resources.oags_for(spec.src_side)
@@ -169,10 +197,10 @@ class ChGraphEngine(ExecutionEngine):
 
     def _generate_chunk(
         self,
-        system: object,
+        system: MemorySystem,
         frontier: Frontier,
         chunk: Chunk,
-        oag,
+        oag: Oag,
         edge_base: int,
         dense: bool,
         core: int,
@@ -199,11 +227,15 @@ class ChGraphEngine(ExecutionEngine):
         self._stats["chains"] += chains.num_chains
         self._stats["elements"] += chains.num_elements
         self._stats["inspections"] += chains.neighbor_inspections
+        if self._profiling and chains.chains:
+            longest = max(len(chain) for chain in chains.chains)
+            if longest > self._max_chain_length:
+                self._max_chain_length = longest
         return list(chains.order()), cycles, on_core
 
     def _process_chunk(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

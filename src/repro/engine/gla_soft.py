@@ -23,6 +23,7 @@ import math
 from repro.algorithms.base import AlgorithmState, HypergraphAlgorithm
 from repro.core.chain import ChainGenerator, ChainProbe
 from repro.core.gla import generate_schedules
+from repro.core.oag import Oag
 from repro.engine.base import ExecutionEngine, PhaseSpec
 from repro.engine.hygra import process_elements_demand
 from repro.engine.resources import GlaResources
@@ -30,6 +31,7 @@ from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
 from repro.sim.layout import ArrayId
+from repro.sim.protocol import MemorySystem
 
 __all__ = ["SoftwareGlaEngine"]
 
@@ -45,11 +47,11 @@ class _SoftwareChainProbe(ChainProbe):
 
     def __init__(
         self,
-        system: object,
+        system: MemorySystem,
         core: int,
         dense: bool,
         edge_base: int,
-        oag=None,
+        oag: Oag | None = None,
     ) -> None:
         self.system = system
         self.core = core
@@ -105,7 +107,7 @@ class SoftwareGlaEngine(ExecutionEngine):
     def _prepare(
         self,
         hypergraph: Hypergraph,
-        system: object,
+        system: MemorySystem,
         chunks: dict[str, list[Chunk]],
     ) -> None:
         if self.resources is None or self.resources.num_cores != (
@@ -130,7 +132,7 @@ class SoftwareGlaEngine(ExecutionEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,
@@ -139,6 +141,7 @@ class SoftwareGlaEngine(ExecutionEngine):
         chunks: list[Chunk],
         activated: Frontier,
     ) -> None:
+        assert self.resources is not None and self._generator is not None
         dense = algorithm.dense_frontier
         cacheable = dense and self.cache_dense_chains
         cached = cacheable and spec.phase in self._dense_schedule_cache

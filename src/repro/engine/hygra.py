@@ -18,6 +18,7 @@ from repro.algorithms.base import (
 )
 from repro.core.gla import index_order_schedule
 from repro.engine.base import ExecutionEngine, PhaseSpec
+from repro.sim.protocol import MemorySystem
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
@@ -27,7 +28,7 @@ __all__ = ["HygraEngine", "process_elements_demand"]
 
 
 def process_elements_demand(
-    system: object,
+    system: MemorySystem,
     hypergraph: Hypergraph,
     algorithm: HypergraphAlgorithm,
     state: AlgorithmState,
@@ -91,7 +92,7 @@ def process_elements_demand(
 
 
 def charge_frontier_traversal(
-    system: object,
+    system: MemorySystem,
     core: int,
     chunk: Chunk,
     frontier: Frontier,
@@ -128,7 +129,7 @@ class HygraEngine(ExecutionEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

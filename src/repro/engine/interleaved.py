@@ -24,6 +24,7 @@ from repro.engine.hygra import (
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk
+from repro.sim.protocol import MemorySystem
 
 __all__ = ["InterleavedHygraEngine"]
 
@@ -35,7 +36,7 @@ class InterleavedHygraEngine(HygraEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

@@ -21,6 +21,7 @@ from repro.algorithms.base import (
     HypergraphAlgorithm,
 )
 from repro.engine.base import ExecutionEngine, PhaseSpec
+from repro.sim.protocol import MemorySystem
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import Chunk, contiguous_chunks
@@ -36,7 +37,7 @@ class PullHygraEngine(ExecutionEngine):
 
     def _run_phase(
         self,
-        system: object,
+        system: MemorySystem,
         hypergraph: Hypergraph,
         algorithm: HypergraphAlgorithm,
         state: AlgorithmState,

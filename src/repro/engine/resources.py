@@ -13,10 +13,15 @@ import dataclasses
 import os
 import time
 
+from typing import TYPE_CHECKING
+
 from repro.core.chain import DEFAULT_D_MAX
 from repro.core.oag import DEFAULT_W_MIN, Oag, build_chunk_oags
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import contiguous_chunks
+
+if TYPE_CHECKING:
+    from repro.store import ArtifactStore
 
 __all__ = ["GlaResources"]
 
@@ -81,7 +86,7 @@ class GlaResources:
         w_min: int = DEFAULT_W_MIN,
         d_max: int = DEFAULT_D_MAX,
         fast: bool = True,
-        store=None,
+        store: "ArtifactStore | None" = None,
     ) -> "GlaResources":
         """:meth:`build`, persisted through an artifact ``store``.
 

@@ -8,6 +8,7 @@ from typing import Any
 import numpy as np
 
 from repro.sim.layout import ARRAY_GROUPS, ArrayId
+from repro.sim.telemetry import RunTelemetry
 
 __all__ = ["RunResult", "group_dram_breakdown"]
 
@@ -38,6 +39,8 @@ class RunResult:
     dram_by_array: dict[ArrayId, int]
     chain_stats: dict[str, float] = dataclasses.field(default_factory=dict)
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Populated only when the run was profiled (InstrumentedSystem attached).
+    telemetry: RunTelemetry | None = None
 
     @property
     def dram_by_group(self) -> dict[str, int]:

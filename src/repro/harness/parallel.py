@@ -167,6 +167,7 @@ class _ShardPayload:
     d_max: int
     timeout: float | None
     parent_pid: int
+    profile: bool = False
     fault: str | None = None  # test hook, see _maybe_fault
 
 
@@ -213,7 +214,10 @@ def _run_one(
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     if not use_alarm:
         _maybe_fault(payload, spec)
-        runner.run(spec.engine, spec.algorithm, spec.dataset, spec.config)
+        runner.run(
+            spec.engine, spec.algorithm, spec.dataset, spec.config,
+            profile=payload.profile,
+        )
         return
 
     def _on_alarm(signum, frame):
@@ -223,7 +227,10 @@ def _run_one(
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         _maybe_fault(payload, spec)
-        runner.run(spec.engine, spec.algorithm, spec.dataset, spec.config)
+        runner.run(
+            spec.engine, spec.algorithm, spec.dataset, spec.config,
+            profile=payload.profile,
+        )
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -282,6 +289,7 @@ def execute_runs(
     fast: bool = True,
     w_min: int = DEFAULT_W_MIN,
     d_max: int = DEFAULT_D_MAX,
+    profile: bool = False,
     fault: str | None = None,
 ) -> ExecutionReport:
     """Execute the run matrix, parallel where possible, and report.
@@ -318,6 +326,7 @@ def execute_runs(
             d_max=d_max,
             timeout=per_run_timeout,
             parent_pid=os.getpid(),
+            profile=profile,
             fault=fault,
         )
 

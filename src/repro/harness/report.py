@@ -3,8 +3,19 @@
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
-__all__ = ["render_table", "format_value", "with_bars"]
+if TYPE_CHECKING:
+    from repro.sim.telemetry import RunTelemetry
+
+__all__ = [
+    "render_table",
+    "format_value",
+    "with_bars",
+    "render_phase_profile",
+    "render_iteration_timeline",
+    "render_telemetry",
+]
 
 
 def format_value(value: object) -> str:
@@ -69,3 +80,72 @@ def with_bars(
             bar = ""
         out.append([*row, bar])
     return out
+
+
+# -- telemetry rendering ------------------------------------------------------
+
+
+def render_phase_profile(telemetry: "RunTelemetry", title: str) -> str:
+    """Per-phase-kind cycles / access / DRAM table for one profiled run."""
+    rows = []
+    for profile in telemetry.phases.values():
+        rows.append([
+            profile.phase,
+            profile.activations,
+            profile.cycles,
+            profile.compute_cycles,
+            profile.engine_cycles,
+            sum(profile.accesses.values()),
+            profile.dram_accesses,
+        ])
+    return render_table(
+        ["phase", "runs", "cycles", "compute", "engine", "accesses", "DRAM"],
+        rows,
+        title=title,
+    )
+
+
+def render_iteration_timeline(telemetry: "RunTelemetry", title: str) -> str:
+    """Per-iteration frontier size/density and phase cost timeline."""
+    rows = []
+    for iteration in telemetry.iterations:
+        for sample in iteration.phases:
+            rows.append([
+                iteration.iteration,
+                sample.phase,
+                sample.frontier_size,
+                sample.frontier_density,
+                sample.cycles,
+                sample.dram_accesses,
+            ])
+    return render_table(
+        ["iter", "phase", "frontier", "density", "cycles", "DRAM"],
+        rows,
+        title=title,
+    )
+
+
+def render_telemetry(telemetry: "RunTelemetry", label: str) -> str:
+    """The full ``repro profile`` block for one engine's run."""
+    blocks = [
+        render_phase_profile(telemetry, f"{label}: per-phase breakdown"),
+        render_iteration_timeline(telemetry, f"{label}: iteration timeline"),
+    ]
+    extras = []
+    if telemetry.chain_stats:
+        extras.append(
+            "chains: " + ", ".join(
+                f"{key}={format_value(value)}"
+                for key, value in sorted(telemetry.chain_stats.items())
+            )
+        )
+    if telemetry.fifo:
+        extras.append(
+            "fifo: " + ", ".join(
+                f"{key}={format_value(value)}"
+                for key, value in sorted(telemetry.fifo.items())
+            )
+        )
+    if extras:
+        blocks.append("\n".join(extras))
+    return "\n\n".join(blocks)

@@ -32,20 +32,15 @@ from repro.algorithms import (
     Sssp,
 )
 from repro.algorithms.base import HypergraphAlgorithm
-from repro.baselines import EventPrefetcherEngine, HatsVEngine, LigraEngine
-from repro.engine import (
-    ChGraphEngine,
-    GlaResources,
-    HygraEngine,
-    RunResult,
-    SoftwareGlaEngine,
-)
+from repro.engine import GlaResources, RunResult
 from repro.core.chain import DEFAULT_D_MAX
 from repro.core.oag import DEFAULT_W_MIN
 from repro.engine.base import ExecutionEngine
+from repro.engine.registry import ENGINE_REGISTRY, create_engine
 from repro.harness.datasets import graph_dataset, hypergraph_dataset
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.sim.config import SystemConfig, scaled_config
+from repro.sim.observe import InstrumentedSystem
 from repro.sim.system import SimulatedSystem
 
 __all__ = ["Runner", "get_runner", "PAPER_APPS"]
@@ -135,24 +130,13 @@ class Runner:
     def engine(
         self, name: str, hypergraph: Hypergraph, config: SystemConfig
     ) -> ExecutionEngine:
-        if name == "Hygra":
-            return HygraEngine()
-        if name == "Ligra":
-            return LigraEngine()
-        if name == "EventPrefetcher":
-            return EventPrefetcherEngine()
-        resources = self.resources(hypergraph, config)
-        if name == "GLA":
-            return SoftwareGlaEngine(resources)
-        if name == "ChGraph":
-            return ChGraphEngine(resources)
-        if name == "ChGraph-HCGonly":
-            return ChGraphEngine(resources, use_hcg=True, use_cp=False)
-        if name == "ChGraph-CPonly":
-            return ChGraphEngine(resources, use_hcg=False, use_cp=True)
-        if name == "HATS-V":
-            return HatsVEngine(resources)
-        raise KeyError(f"unknown engine {name!r}")
+        spec = ENGINE_REGISTRY.get(name)
+        if spec is None:
+            raise KeyError(f"unknown engine {name!r}")
+        resources = (
+            self.resources(hypergraph, config) if spec.needs_resources else None
+        )
+        return create_engine(name, resources)
 
     def dataset(self, key: str) -> Hypergraph:
         if key in ("AZ", "PK"):
@@ -167,14 +151,22 @@ class Runner:
         algorithm_name: str,
         dataset_key: str,
         config: SystemConfig | None = None,
+        profile: bool = False,
     ) -> RunResult:
-        """Simulate (memoized) and return the :class:`RunResult`."""
+        """Simulate (memoized) and return the :class:`RunResult`.
+
+        ``profile=True`` runs the simulation under an
+        :class:`~repro.sim.observe.InstrumentedSystem` so the result carries
+        :class:`~repro.sim.telemetry.RunTelemetry`; the simulated cycles and
+        DRAM counts are identical to an unprofiled run, but the entries are
+        memoized (and stored) separately because only one carries telemetry.
+        """
         if config is None:
             config = scaled_config()
         # SystemConfig is a frozen dataclass, hence hashable: keying on the
         # full config (not its name) keeps modified copies distinct.
         key = (engine_name, algorithm_name, dataset_key, config,
-               self.pr_iterations)
+               self.pr_iterations, profile)
         if key in self._results:
             return self._results[key]
         # One dataset resolution serves both the store lookup (content
@@ -191,6 +183,7 @@ class Runner:
                 hypergraph.content_hash(),
                 config,
                 self.pr_iterations,
+                profile=profile,
             )
             cached = self.store.get_run_result(store_key)
             if cached is not None:
@@ -199,6 +192,8 @@ class Runner:
         engine = self.engine(engine_name, hypergraph, config)
         algorithm = self.algorithm(algorithm_name)
         system = SimulatedSystem(config)
+        if profile:
+            system = InstrumentedSystem.profiled(system)
         result = engine.run(algorithm, hypergraph, system)
         self._results[key] = result
         if store_key is not None:
@@ -211,6 +206,7 @@ class Runner:
         jobs: int | None = None,
         timeout: float | None = None,
         retries: int = 2,
+        profile: bool = False,
     ):
         """Batch :meth:`run`: execute a whole run matrix, sharded in parallel.
 
@@ -238,7 +234,7 @@ class Runner:
         pending = [
             spec for spec in unique
             if (spec.engine, spec.algorithm, spec.dataset,
-                spec.resolved_config(), self.pr_iterations)
+                spec.resolved_config(), self.pr_iterations, profile)
             not in self._results
         ]
         if self.store is not None and len(pending) > 1 and (
@@ -254,9 +250,13 @@ class Runner:
                 fast=self.fast,
                 w_min=self.w_min,
                 d_max=self.d_max,
+                profile=profile,
             )
         return {
-            spec: self.run(spec.engine, spec.algorithm, spec.dataset, spec.config)
+            spec: self.run(
+                spec.engine, spec.algorithm, spec.dataset, spec.config,
+                profile=profile,
+            )
             for spec in unique
         }
 

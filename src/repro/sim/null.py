@@ -3,12 +3,20 @@
 Running an engine against a ``NullSystem`` executes the full algorithm
 semantics without any cache or timing simulation — the fastest way to get
 *answers* (used by correctness tests and by callers who only want results).
+It conforms to the :class:`~repro.sim.protocol.MemorySystem` protocol.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.sim.config import SystemConfig, scaled_config
 from repro.sim.layout import ArrayId
+from repro.sim.timing import TimingBreakdown
+
+if TYPE_CHECKING:
+    from repro.sim.hierarchy import MemoryHierarchy
+    from repro.sim.protocol import EngineEvent
 
 __all__ = ["NullSystem"]
 
@@ -17,7 +25,7 @@ class NullSystem:
     """Implements the :class:`SimulatedSystem` charging interface as no-ops."""
 
     #: No cache hierarchy is attached; engines skip raw accesses when None.
-    hierarchy = None
+    hierarchy: "MemoryHierarchy | None" = None
 
     def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or scaled_config()
@@ -42,6 +50,13 @@ class NullSystem:
 
     def barrier(self) -> float:
         return 0.0
+
+    def on_event(self, event: "EngineEvent") -> None:
+        pass
+
+    @property
+    def breakdown(self) -> TimingBreakdown:
+        return TimingBreakdown()
 
     @property
     def total_cycles(self) -> float:

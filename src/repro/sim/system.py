@@ -6,15 +6,24 @@ three operations engines actually use: ``read``, ``write`` and
 their latency to the issuing core's *demand* stream; engines modelling a
 decoupled access engine (ChGraph) use ``engine_read`` instead, which charges
 the engine-side accumulator so the core and engine overlap.
+
+This is the reference implementation of the
+:class:`~repro.sim.protocol.MemorySystem` protocol — the typed boundary
+every execution engine is written against.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from repro.sim.config import SystemConfig
 from repro.sim.energy import EnergyModel, EnergyReport
 from repro.sim.hierarchy import MemoryHierarchy
 from repro.sim.layout import ArrayId
 from repro.sim.timing import PhaseTimer, TimingBreakdown
+
+if TYPE_CHECKING:
+    from repro.sim.protocol import EngineEvent
 
 __all__ = ["SimulatedSystem"]
 
@@ -67,6 +76,9 @@ class SimulatedSystem:
 
     def barrier(self) -> float:
         return self.timer.barrier()
+
+    def on_event(self, event: "EngineEvent") -> None:
+        """Engine-loop boundary events charge nothing on a plain system."""
 
     # -- results ----------------------------------------------------------------
 

@@ -37,7 +37,14 @@ class TraceEvent:
 
 
 class TracingSystem(SimulatedSystem):
-    """A SimulatedSystem that records every access it simulates."""
+    """A SimulatedSystem that records every access it simulates.
+
+    Conforms to :class:`~repro.sim.protocol.MemorySystem` by inheritance;
+    for recording on top of an *arbitrary* conforming system (including
+    :class:`~repro.sim.null.NullSystem`), attach a
+    :class:`~repro.sim.observe.TraceObserver` to an
+    :class:`~repro.sim.observe.InstrumentedSystem` instead.
+    """
 
     def __init__(self, config: SystemConfig) -> None:
         super().__init__(config)

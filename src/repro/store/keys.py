@@ -31,7 +31,10 @@ __all__ = [
 #: Bump when the on-disk artifact layout changes; old entries are then
 #: invisible (they live under a different schema directory) and simply
 #: rebuilt, never misread.
-STORE_SCHEMA_VERSION = 1
+#:
+#: v2: ``RunResult`` payloads carry an optional ``telemetry`` record and
+#: run keys distinguish profiled from plain runs.
+STORE_SCHEMA_VERSION = 2
 
 
 def _hash_arrays(h: "hashlib._Hash", *arrays: np.ndarray) -> None:
@@ -83,18 +86,21 @@ def run_result_key(
     dataset_hash: str,
     config,
     pr_iterations: int,
+    profile: bool = False,
 ) -> str:
     """Store key for one memoized simulation run.
 
     ``config`` is a frozen :class:`~repro.sim.config.SystemConfig`; its full
     field set is hashed (via a sorted-key JSON dump) so modified copies get
-    distinct entries, mirroring the in-process memo.
+    distinct entries, mirroring the in-process memo.  ``profile`` is part of
+    the key: a profiled run carries telemetry a plain entry lacks, so the
+    two must not serve each other's lookups.
     """
     config_json = json.dumps(dataclasses.asdict(config), sort_keys=True)
     h = hashlib.sha256(b"repro/run/")
     h.update(
         f"v{STORE_SCHEMA_VERSION}:{engine}:{algorithm}:{dataset_hash}:"
-        f"pr={pr_iterations}:".encode()
+        f"pr={pr_iterations}:profile={int(profile)}:".encode()
     )
     h.update(config_json.encode())
     return h.hexdigest()[:32]

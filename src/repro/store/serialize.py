@@ -27,6 +27,7 @@ from repro.engine.result import RunResult
 from repro.hypergraph.csr import Csr
 from repro.core.oag import Oag
 from repro.sim.layout import ArrayId
+from repro.sim.telemetry import RunTelemetry
 from repro.store.keys import STORE_SCHEMA_VERSION
 
 __all__ = [
@@ -198,6 +199,9 @@ def run_result_to_json(result: RunResult) -> dict:
         "chain_stats": result.chain_stats,
         "extra": extra,
         "extra_dropped": dropped,
+        "telemetry": (
+            result.telemetry.to_json() if result.telemetry is not None else None
+        ),
     }
 
 
@@ -210,6 +214,7 @@ def run_result_from_json(payload: dict) -> RunResult:
         or payload.get("kind") != "run_result"
     ):
         raise SerializationError("not a run_result payload of this schema")
+    telemetry_json = payload.get("telemetry")
     try:
         return RunResult(
             engine=payload["engine"],
@@ -228,6 +233,11 @@ def run_result_from_json(payload: dict) -> RunResult:
             },
             chain_stats=payload["chain_stats"],
             extra=payload["extra"],
+            telemetry=(
+                RunTelemetry.from_json(telemetry_json)
+                if telemetry_json is not None
+                else None
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError("malformed run_result payload") from exc

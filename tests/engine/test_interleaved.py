@@ -1,0 +1,73 @@
+"""Interleaved-core Hygra must compute exactly what chunk-serial Hygra does.
+
+Interleaving reorders the access *stream* (shared-LLC fidelity check), but
+the algorithm semantics — values, iteration counts, per-core work — are
+untouched, so the results must be identical across algorithms and datasets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.algorithms import Bfs, ConnectedComponents, PageRank
+from repro.engine import HygraEngine
+from repro.engine.interleaved import InterleavedHygraEngine
+from repro.sim.config import scaled_config
+from repro.sim.system import SimulatedSystem
+from repro.sim.trace import TracingSystem
+
+
+def make_system() -> SimulatedSystem:
+    return SimulatedSystem(scaled_config(num_cores=4, llc_kb=2))
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [lambda: PageRank(iterations=2), lambda: Bfs(source=1), ConnectedComponents],
+    ids=["PR", "BFS", "CC"],
+)
+def test_interleaved_matches_serial_on_affiliation(
+    algorithm_factory, small_hypergraph
+):
+    serial = HygraEngine().run(
+        algorithm_factory(), small_hypergraph, make_system()
+    )
+    interleaved = InterleavedHygraEngine().run(
+        algorithm_factory(), small_hypergraph, make_system()
+    )
+    assert np.allclose(serial.result, interleaved.result, equal_nan=True)
+    assert interleaved.iterations == serial.iterations
+
+
+@pytest.mark.parametrize(
+    "algorithm_factory",
+    [lambda: PageRank(iterations=3), lambda: Bfs(source=0)],
+    ids=["PR", "BFS"],
+)
+def test_interleaved_matches_serial_on_figure1(algorithm_factory, figure1):
+    serial = HygraEngine().run(algorithm_factory(), figure1, make_system())
+    interleaved = InterleavedHygraEngine().run(
+        algorithm_factory(), figure1, make_system()
+    )
+    assert np.allclose(serial.result, interleaved.result, equal_nan=True)
+    assert interleaved.iterations == serial.iterations
+
+
+def test_interleaving_permutes_but_preserves_the_access_stream(
+    small_hypergraph,
+):
+    """Same accesses as a multiset, different order."""
+    serial_system = TracingSystem(scaled_config(num_cores=4, llc_kb=2))
+    HygraEngine().run(PageRank(iterations=2), small_hypergraph, serial_system)
+    inter_system = TracingSystem(scaled_config(num_cores=4, llc_kb=2))
+    InterleavedHygraEngine().run(
+        PageRank(iterations=2), small_hypergraph, inter_system
+    )
+    assert inter_system.trace != serial_system.trace
+    assert Counter(inter_system.trace) == Counter(serial_system.trace)
+    # The stream order does change what the shared LLC absorbs, so cycle
+    # and DRAM totals may differ — but the work still hits DRAM.
+    assert inter_system.dram_accesses() > 0

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import ENGINES, EXPERIMENTS, build_parser, main
 
 
 def test_parser_requires_command():
@@ -139,3 +139,46 @@ def test_experiment_reports_cache_stats_when_enabled(capsys, tmp_path, monkeypat
     assert main(["experiment", "fig21"]) == 0
     warm = capsys.readouterr().out
     assert "5 hits" in warm and "0 misses" in warm
+
+
+def test_parser_lists_registry_engines():
+    from repro.engine import engine_names
+
+    assert ENGINES == engine_names()
+    for name in ("Hygra-pull", "Hygra-interleaved"):
+        args = build_parser().parse_args(["run", "--engine", name])
+        assert args.engine == name
+
+
+def test_profile_command_small(capsys):
+    code = main([
+        "profile", "--algorithm", "BFS", "--dataset", "FS",
+        "--cores", "4", "--llc-kb", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for engine in ("Hygra", "GLA", "ChGraph"):
+        assert f"{engine} — BFS on FS: per-phase breakdown" in out
+        assert f"{engine} — BFS on FS: iteration timeline" in out
+    assert "hyperedge" in out and "vertex" in out
+    assert "chains:" in out  # GLA/ChGraph chain statistics
+    assert "fifo: chain_fifo_depth=" in out  # ChGraph FIFO occupancy
+
+
+def test_profile_command_rejects_unknown_engine(capsys):
+    assert main([
+        "profile", "--engines", "NotAnEngine",
+        "--algorithm", "BFS", "--dataset", "FS",
+    ]) == 2
+    assert "unknown engine" in capsys.readouterr().err
+
+
+def test_bench_profile_summary(capsys, tmp_path):
+    code = main([
+        "bench", "--figures", "fig21", "--profile",
+        "--cache-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Profile summary" in out
+    assert "mean density" in out

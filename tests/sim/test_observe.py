@@ -1,0 +1,116 @@
+"""InstrumentedSystem: observation must never perturb the simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.bfs import Bfs
+from repro.engine.chgraph_engine import ChGraphEngine
+from repro.engine.hygra import HygraEngine
+from repro.sim import (
+    InstrumentedSystem,
+    IterationTimeline,
+    NullSystem,
+    PhaseProfiler,
+    SimulatedSystem,
+    TraceObserver,
+    TracingSystem,
+    scaled_config,
+)
+
+
+def make_system() -> SimulatedSystem:
+    return SimulatedSystem(scaled_config(num_cores=4, llc_kb=2))
+
+
+def test_instrumented_run_is_bit_identical(small_hypergraph) -> None:
+    algorithm = PageRank(iterations=2)
+    plain = HygraEngine().run(algorithm, small_hypergraph, make_system())
+    wrapped = InstrumentedSystem.profiled(make_system())
+    profiled = HygraEngine().run(algorithm, small_hypergraph, wrapped)
+
+    assert profiled.cycles == plain.cycles
+    assert profiled.compute_cycles == plain.compute_cycles
+    assert profiled.memory_stall_cycles == plain.memory_stall_cycles
+    assert profiled.dram_accesses == plain.dram_accesses
+    assert profiled.dram_by_array == plain.dram_by_array
+    assert np.array_equal(profiled.result, plain.result)
+    assert plain.telemetry is None
+    assert profiled.telemetry is not None
+
+
+def test_phase_profiler_totals_match_run(small_hypergraph) -> None:
+    system = InstrumentedSystem.profiled(make_system())
+    result = HygraEngine().run(PageRank(iterations=2), small_hypergraph, system)
+    telemetry = result.telemetry
+
+    assert set(telemetry.phases) == {"hyperedge", "vertex"}
+    for profile in telemetry.phases.values():
+        assert profile.activations == result.iterations
+        assert profile.cycles > 0
+        assert sum(profile.accesses.values()) > 0
+    # Phase barrier cycles partition the run's total.
+    total = sum(p.cycles for p in telemetry.phases.values())
+    assert total == result.cycles
+    # DRAM attribution partitions the run's DRAM traffic.
+    dram = sum(p.dram_accesses for p in telemetry.phases.values())
+    assert dram == result.dram_accesses
+
+
+def test_iteration_timeline_frontiers(small_hypergraph) -> None:
+    system = InstrumentedSystem.profiled(make_system())
+    result = HygraEngine().run(Bfs(), small_hypergraph, system)
+    timeline = result.telemetry.iterations
+
+    assert len(timeline) == result.iterations
+    first = timeline[0].phases[0]
+    assert first.phase == "hyperedge"
+    assert first.frontier_size == 1  # BFS starts from a single root
+    assert 0.0 < first.frontier_density <= 1.0
+    for iteration in timeline:
+        assert [s.phase for s in iteration.phases] == ["hyperedge", "vertex"]
+    cycles = sum(s.cycles for it in timeline for s in it.phases)
+    assert cycles == result.cycles
+
+
+def test_trace_observer_matches_tracing_system(small_hypergraph) -> None:
+    config = scaled_config(num_cores=4, llc_kb=2)
+    algorithm = PageRank(iterations=1)
+    recorder = TracingSystem(config)
+    HygraEngine().run(algorithm, small_hypergraph, recorder)
+
+    observed = InstrumentedSystem(SimulatedSystem(config), [TraceObserver()])
+    HygraEngine().run(algorithm, small_hypergraph, observed)
+    trace = observed.observer(TraceObserver).trace
+
+    assert trace == recorder.trace
+
+
+def test_wrapper_delegates_identity_and_results() -> None:
+    inner = NullSystem()
+    system = InstrumentedSystem(inner)
+    assert system.config is inner.config
+    assert system.hierarchy is None
+    assert system.total_cycles == 0.0
+    assert system.dram_accesses() == 0
+    assert system.telemetry().phases == {}
+    assert system.observer(PhaseProfiler) is None
+    profiler = system.add_observer(PhaseProfiler())
+    assert system.observer(PhaseProfiler) is profiler
+    assert system.observer(IterationTimeline) is None
+
+
+def test_chgraph_fifo_stats_only_under_instrumentation(small_hypergraph) -> None:
+    algorithm = PageRank(iterations=2)
+    plain = ChGraphEngine().run(algorithm, small_hypergraph, make_system())
+    assert plain.telemetry is None
+
+    system = InstrumentedSystem.profiled(make_system())
+    profiled = ChGraphEngine().run(algorithm, small_hypergraph, system)
+    fifo = profiled.telemetry.fifo
+    assert fifo["chain_fifo_depth"] == system.config.chain_fifo_depth
+    assert 0 < fifo["chain_fifo_peak"] <= fifo["chain_fifo_depth"]
+    assert fifo["max_chain_length"] >= fifo["chain_fifo_peak"]
+    assert profiled.telemetry.chain_stats["chains"] > 0
+    assert profiled.cycles == plain.cycles

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.sim.config import scaled_config
-from repro.store import hypergraph_content_hash, resources_key, run_result_key
+from repro.store import (
+    STORE_SCHEMA_VERSION,
+    hypergraph_content_hash,
+    resources_key,
+    run_result_key,
+)
 
 EDGES = [[0, 4, 6], [1, 2, 3, 5], [0, 2, 4], [1, 3, 6]]
 
@@ -57,3 +62,19 @@ def test_run_result_key_covers_config_and_iterations(figure1):
     assert base != run_result_key(
         "ChGraph", "PR", h, scaled_config(num_cores=4), 2
     )
+
+
+def test_run_result_key_separates_profiled_runs(figure1):
+    """A profiled run carries telemetry the plain run lacks; the store must
+    never hand one out for the other."""
+    h = figure1.content_hash()
+    config = scaled_config()
+    plain = run_result_key("ChGraph", "PR", h, config, 2)
+    profiled = run_result_key("ChGraph", "PR", h, config, 2, profile=True)
+    assert plain != profiled
+    assert plain == run_result_key("ChGraph", "PR", h, config, 2, profile=False)
+
+
+def test_schema_version_bumped_for_telemetry():
+    """v2 added the telemetry field to serialized run results."""
+    assert STORE_SCHEMA_VERSION == 2

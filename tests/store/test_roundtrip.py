@@ -11,6 +11,7 @@ from repro.engine import ChGraphEngine, GlaResources
 from repro.engine.result import RunResult
 from repro.sim.config import scaled_config
 from repro.sim.layout import ArrayId
+from repro.sim.observe import InstrumentedSystem
 from repro.sim.system import SimulatedSystem
 from repro.store import ArtifactStore, SerializationError
 from repro.store.serialize import (
@@ -108,6 +109,34 @@ def test_run_result_json_roundtrip(small_hypergraph):
     assert loaded.chain_stats == result.chain_stats
     assert loaded.extra == {"note": "kept"}
     assert loaded.dram_by_group == result.dram_by_group
+
+
+def test_profiled_run_result_roundtrips_with_telemetry(small_hypergraph):
+    resources = GlaResources.build(small_hypergraph, 4)
+    system = InstrumentedSystem.profiled(make_system())
+    result = ChGraphEngine(resources).run(
+        PageRank(iterations=2), small_hypergraph, system
+    )
+    assert result.telemetry is not None
+    loaded = run_result_from_json(run_result_to_json(result))
+    assert loaded.telemetry is not None
+    assert loaded.telemetry.to_json() == result.telemetry.to_json()
+    assert set(loaded.telemetry.phases) == {"hyperedge", "vertex"}
+    restored = loaded.telemetry.phases["hyperedge"]
+    original = result.telemetry.phases["hyperedge"]
+    assert restored.cycles == original.cycles
+    assert restored.dram_by_array == original.dram_by_array
+    assert all(isinstance(k, ArrayId) for k in restored.dram_by_array)
+    assert loaded.telemetry.fifo == result.telemetry.fifo
+    assert (
+        loaded.telemetry.mean_frontier_density
+        == result.telemetry.mean_frontier_density
+    )
+    # An unprofiled result still round-trips with telemetry absent.
+    plain = ChGraphEngine(resources).run(
+        PageRank(iterations=2), small_hypergraph, make_system()
+    )
+    assert run_result_from_json(run_result_to_json(plain)).telemetry is None
 
 
 def test_run_result_schema_mismatch_rejected():
