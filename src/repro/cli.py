@@ -17,6 +17,13 @@ Commands
     Regenerate a set of figures, executing their combined run matrix on
     the sharded parallel executor (``--jobs N --timeout S``); the tables
     are byte-identical to serial execution.
+``check``
+    Run the invariant + cross-engine differential checking suite: every
+    registry engine on seeded generator hypergraphs under an attached
+    :class:`~repro.sim.invariants.InvariantChecker`, asserting identical
+    algorithm results and sane access-count orderings.  Exits non-zero on
+    any failure; ``--inject-fault`` deliberately breaks the hierarchy to
+    prove the checker fires.
 ``area``
     Print the §VI-E area/power accounting.
 ``prewarm``
@@ -37,6 +44,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.engine.registry import engine_names
+from repro.harness import differential
 from repro.harness import experiments as registry
 from repro.harness.report import render_table, render_telemetry
 from repro.harness.runner import Runner
@@ -123,7 +131,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="Hygra,GLA,ChGraph",
         help="comma-separated engines to profile (default: Hygra,GLA,ChGraph)",
     )
+    profile.add_argument(
+        "--check", action="store_true",
+        help="attach the invariant checker; violations are reported through "
+             "the telemetry and fail the command",
+    )
     add_workload_args(profile)
+
+    check = sub.add_parser(
+        "check",
+        help="invariant + cross-engine differential checking suite",
+    )
+    check.add_argument(
+        "--graphs", type=int, default=5,
+        help="seeded generator hypergraphs to sweep (default: 5)",
+    )
+    check.add_argument(
+        "--seed", type=int, default=101, help="base generator seed"
+    )
+    check.add_argument(
+        "--algorithms", default=",".join(differential.DEFAULT_ALGORITHMS),
+        help="comma-separated algorithms (default: PR,BFS,CC)",
+    )
+    check.add_argument(
+        "--engines", default=None,
+        help="comma-separated engines (default: every registry engine)",
+    )
+    check.add_argument("--cores", type=int, default=4, help="simulated cores")
+    check.add_argument("--llc-kb", type=int, default=2, help="shared LLC size")
+    check.add_argument(
+        "--no-ordering", action="store_true",
+        help="skip the overlap-heavy DRAM-ordering checks",
+    )
+    check.add_argument(
+        "--inject-fault", default=None, choices=differential.FAULT_KINDS,
+        help="deliberately break the hierarchy; the command must then FAIL",
+    )
+    check.add_argument(
+        "--quiet", action="store_true", help="suppress per-workload progress"
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper table/figure"
@@ -162,6 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="run under instrumentation and append a telemetry summary "
              "(tables are unchanged: observation charges nothing)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="attach the invariant checker to every run (forces serial "
+             "in-process execution and implies --profile); violations fail "
+             "the command",
     )
     add_cache_dir_arg(bench)
 
@@ -268,9 +320,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"unknown engine(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
     runner, config = _runner_and_config(args)
+    violations = 0
     for engine in engines:
         result = runner.run(
-            engine, args.algorithm, args.dataset, config, profile=True
+            engine, args.algorithm, args.dataset, config, profile=True,
+            check=args.check,
         )
         label = f"{engine} — {args.algorithm} on {args.dataset}"
         if result.telemetry is None:
@@ -278,6 +332,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             return 1
         print(render_telemetry(result.telemetry, label))
         print()
+        violations += len(result.telemetry.violations)
+    if args.check:
+        if violations:
+            print(f"check: {violations} invariant violation(s)", file=sys.stderr)
+            return 1
+        print("check: all invariants held")
     return 0
 
 
@@ -301,7 +361,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
     runner = Runner(cache_dir=args.cache_dir)
-    if runner.store is None and (args.jobs is None or args.jobs > 1):
+    if runner.store is None and not args.check and (
+        args.jobs is None or args.jobs > 1
+    ):
         print(
             "bench: no artifact store (--cache-dir/$REPRO_CACHE_DIR); "
             "executing serially in-process",
@@ -310,7 +372,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     specs = registry.run_matrix(ids)
     results = runner.run_many(
         specs, jobs=args.jobs, timeout=args.timeout, retries=args.retries,
-        profile=args.profile,
+        profile=args.profile or args.check, check=args.check,
     )
     for experiment_id in ids:
         title, headers, rows = EXPERIMENTS[experiment_id](runner)
@@ -352,7 +414,66 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if runner.store is not None:
         print(f"cache: {runner.store.stats} ({runner.store.root})")
+    if args.check:
+        violations = [
+            f"{spec.label()}: {message}"
+            for spec, result in results.items()
+            if result.telemetry is not None
+            for message in result.telemetry.violations
+        ]
+        if violations:
+            print(
+                f"check: {len(violations)} invariant violation(s)",
+                file=sys.stderr,
+            )
+            for message in violations:
+                print(f"  - {message}", file=sys.stderr)
+            return 1
+        print(f"check: all invariants held across {len(results)} runs")
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    engines = None
+    if args.engines:
+        engines = [e for e in args.engines.split(",") if e]
+        unknown = [e for e in engines if e not in ENGINES]
+        if unknown:
+            print(f"unknown engine(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    algorithms = tuple(a for a in args.algorithms.split(",") if a)
+    unknown = [a for a in algorithms if a not in ALGORITHMS]
+    if unknown:
+        print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = scaled_config(num_cores=args.cores, llc_kb=args.llc_kb)
+    log = None if args.quiet else (lambda message: print(f"  {message}"))
+
+    def sweep():
+        return differential.run_differential(
+            engines=engines,
+            algorithms=algorithms,
+            graph_count=args.graphs,
+            base_seed=args.seed,
+            config=config,
+            ordering=not args.no_ordering,
+            log=log,
+        )
+
+    if args.inject_fault is not None:
+        print(f"check: injecting fault {args.inject_fault!r}")
+        with differential.inject_fault(args.inject_fault):
+            report = sweep()
+    else:
+        report = sweep()
+    for message in report.skipped:
+        print(f"  skip: {message}")
+    for message in report.failures:
+        print(f"  FAIL: {message}", file=sys.stderr)
+    for message in report.violations:
+        print(f"  VIOLATION: {message}", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _open_store(args: argparse.Namespace) -> ArtifactStore | None:
@@ -448,6 +569,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "profile": _cmd_profile,
+        "check": _cmd_check,
         "experiment": _cmd_experiment,
         "bench": _cmd_bench,
         "prewarm": _cmd_prewarm,

@@ -123,6 +123,7 @@ class ExecutionEngine(abc.ABC):
                     phase=PHASE_HYPEREDGE,
                     frontier_size=len(state.frontier_v),
                     frontier_density=state.frontier_v.density(),
+                    frontier=state.frontier_v,
                 )
             )
             activated = Frontier(hypergraph.num_hyperedges)
@@ -150,6 +151,7 @@ class ExecutionEngine(abc.ABC):
                     phase=PHASE_VERTEX,
                     frontier_size=len(state.frontier_e),
                     frontier_density=state.frontier_e.density(),
+                    frontier=state.frontier_e,
                 )
             )
             activated = Frontier(hypergraph.num_vertices)
@@ -246,6 +248,8 @@ class ExecutionEngine(abc.ABC):
             memory_stall_cycles=breakdown.memory_stall_cycles,
             dram_accesses=system.dram_accesses(),
             dram_by_array=system.dram_breakdown(),
+            dram_writebacks=system.dram_writebacks(),
+            dram_writebacks_by_array=system.dram_writeback_breakdown(),
             chain_stats=self._chain_stats(),
             telemetry=telemetry,
         )

@@ -37,6 +37,12 @@ class RunResult:
     memory_stall_cycles: float
     dram_accesses: int
     dram_by_array: dict[ArrayId, int]
+    #: DRAM write traffic (dirty lines retired to memory), counted apart
+    #: from the read-side ``dram_accesses`` that drive the paper's figures.
+    dram_writebacks: int = 0
+    dram_writebacks_by_array: dict[ArrayId, int] = dataclasses.field(
+        default_factory=dict
+    )
     chain_stats: dict[str, float] = dataclasses.field(default_factory=dict)
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
     #: Populated only when the run was profiled (InstrumentedSystem attached).

@@ -97,9 +97,11 @@ def render_phase_profile(telemetry: "RunTelemetry", title: str) -> str:
             profile.engine_cycles,
             sum(profile.accesses.values()),
             profile.dram_accesses,
+            profile.dram_writebacks,
         ])
     return render_table(
-        ["phase", "runs", "cycles", "compute", "engine", "accesses", "DRAM"],
+        ["phase", "runs", "cycles", "compute", "engine", "accesses", "DRAM",
+         "WB"],
         rows,
         title=title,
     )
@@ -145,6 +147,11 @@ def render_telemetry(telemetry: "RunTelemetry", label: str) -> str:
                 f"{key}={format_value(value)}"
                 for key, value in sorted(telemetry.fifo.items())
             )
+        )
+    if telemetry.violations:
+        extras.append(
+            f"INVARIANT VIOLATIONS ({len(telemetry.violations)}):\n"
+            + "\n".join(f"  - {message}" for message in telemetry.violations)
         )
     if extras:
         blocks.append("\n".join(extras))

@@ -152,6 +152,7 @@ class Runner:
         dataset_key: str,
         config: SystemConfig | None = None,
         profile: bool = False,
+        check: bool = False,
     ) -> RunResult:
         """Simulate (memoized) and return the :class:`RunResult`.
 
@@ -160,13 +161,22 @@ class Runner:
         :class:`~repro.sim.telemetry.RunTelemetry`; the simulated cycles and
         DRAM counts are identical to an unprofiled run, but the entries are
         memoized (and stored) separately because only one carries telemetry.
+
+        ``check=True`` additionally attaches an
+        :class:`~repro.sim.invariants.InvariantChecker` (implying
+        instrumentation); any violations land on
+        ``result.telemetry.violations``.  Checked runs bypass the persistent
+        store — the whole point of checking is to re-execute the simulation,
+        and a store hit would silently skip the audit.
         """
         if config is None:
             config = scaled_config()
+        if check:
+            profile = True
         # SystemConfig is a frozen dataclass, hence hashable: keying on the
         # full config (not its name) keeps modified copies distinct.
         key = (engine_name, algorithm_name, dataset_key, config,
-               self.pr_iterations, profile)
+               self.pr_iterations, profile, check)
         if key in self._results:
             return self._results[key]
         # One dataset resolution serves both the store lookup (content
@@ -174,7 +184,7 @@ class Runner:
         # generator cost on every store-enabled cache miss.
         hypergraph = self.dataset(dataset_key)
         store_key = None
-        if self.store is not None:
+        if self.store is not None and not check:
             from repro.store import run_result_key
 
             store_key = run_result_key(
@@ -194,6 +204,10 @@ class Runner:
         system = SimulatedSystem(config)
         if profile:
             system = InstrumentedSystem.profiled(system)
+        if check:
+            from repro.sim.invariants import InvariantChecker
+
+            system.add_observer(InvariantChecker())
         result = engine.run(algorithm, hypergraph, system)
         self._results[key] = result
         if store_key is not None:
@@ -207,6 +221,7 @@ class Runner:
         timeout: float | None = None,
         retries: int = 2,
         profile: bool = False,
+        check: bool = False,
     ):
         """Batch :meth:`run`: execute a whole run matrix, sharded in parallel.
 
@@ -222,6 +237,10 @@ class Runner:
         Returns ``{spec: RunResult}``; the executor's
         :class:`~repro.harness.parallel.ExecutionReport` (or ``None`` when
         it was skipped) is left on :attr:`last_execution_report`.
+
+        ``check=True`` forces the serial in-process path: checked runs
+        attach an invariant checker and must actually execute here, not be
+        assembled from worker-warmed store entries.
         """
         from repro.harness.parallel import RunSpec, execute_runs
 
@@ -231,10 +250,18 @@ class Runner:
         ]
         unique = list(dict.fromkeys(specs))
         self.last_execution_report = None
+        if check:
+            return {
+                spec: self.run(
+                    spec.engine, spec.algorithm, spec.dataset, spec.config,
+                    profile=True, check=True,
+                )
+                for spec in unique
+            }
         pending = [
             spec for spec in unique
             if (spec.engine, spec.algorithm, spec.dataset,
-                spec.resolved_config(), self.pr_iterations, profile)
+                spec.resolved_config(), self.pr_iterations, profile, False)
             not in self._results
         ]
         if self.store is not None and len(pending) > 1 and (

@@ -98,6 +98,18 @@ class Frontier:
         """Sorted array of active ids."""
         return np.flatnonzero(self._bitmap)
 
+    def recount(self) -> int:
+        """Ground-truth popcount of the bitmap.
+
+        Never reads or writes the memoized count, so the invariant checker
+        can compare the cache against reality without perturbing it.
+        """
+        return int(self._bitmap.sum())
+
+    def cached_count(self) -> int | None:
+        """The memoized count (``None`` when uncached or escaped)."""
+        return None if self._escaped else self._count
+
     def is_empty(self) -> bool:
         return len(self) == 0
 

@@ -115,7 +115,12 @@ class Cache:
         return hit
 
     def invalidate(self, line: int) -> bool:
-        """Drop a line if present (used for inclusive-L3 back-invalidation)."""
+        """Drop a line if present (used for inclusive-L3 back-invalidation).
+
+        Discards the line's dirty bit with it: the *caller* is responsible
+        for checking :meth:`is_dirty` first and writing the line back down
+        the hierarchy — see ``MemoryHierarchy._back_invalidate``.
+        """
         ways = self._sets[self._set_index(line)]
         if line in ways:
             ways.remove(line)
@@ -127,9 +132,47 @@ class Cache:
         """Presence check without touching LRU order or stats."""
         return line in self._sets[self._set_index(line)]
 
+    def victim_of(self, line: int) -> int | None:
+        """The line :meth:`fill` would evict for ``line``, without filling.
+
+        ``None`` when the fill would not evict (line already present, or
+        the set has a free way).  Touches neither LRU order nor stats, so
+        callers can inspect the victim's dirty bit *before* the fill
+        discards it.
+        """
+        ways = self._sets[self._set_index(line)]
+        if line in ways or len(ways) < self.associativity:
+            return None
+        return ways[0]
+
+    def is_dirty(self, line: int) -> bool:
+        """Dirty-bit check without touching LRU order or stats."""
+        return line in self._dirty
+
+    def mark_dirty(self, line: int) -> bool:
+        """Set the dirty bit of a *resident* line without touching LRU order.
+
+        This is how a victim written back from a smaller cache lands here:
+        the line's data is already present (the hierarchy fills downward on
+        the original miss), so absorbing the writeback updates state only.
+        Returns ``False`` (and does nothing) when the line is not resident.
+        """
+        if not self.contains(line):
+            return False
+        self._dirty.add(line)
+        return True
+
     def resident_lines(self) -> list[int]:
         """All currently cached line numbers (for tests and invariants)."""
         return [line for ways in self._sets for line in ways]
+
+    def dirty_lines(self) -> list[int]:
+        """All currently dirty line numbers (for tests and invariants)."""
+        return sorted(self._dirty)
+
+    def max_set_occupancy(self) -> int:
+        """Occupancy of the fullest set (invariant: <= associativity)."""
+        return max((len(ways) for ways in self._sets), default=0)
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -51,6 +51,12 @@ class SystemConfig:
     # measure coherence traffic (see tests/sim/test_coherence.py and the
     # coherence ablation bench).
     track_coherence: bool = False
+    # Apply the DRAM bandwidth-contention model at each barrier: per-phase
+    # demanded lines (fetches + writebacks) inflate that phase's memory
+    # stalls via ``DramModel.contention_factor`` and floor the phase at
+    # ``DramModel.drain_cycles``.  Off by default so the published figures
+    # stay bit-identical; flip on to study bandwidth-bound regimes.
+    dram_contention: bool = False
     noc_router_latency: int = 1
     noc_link_latency: int = 1
     dram_controllers: int = 4

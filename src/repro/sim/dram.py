@@ -28,11 +28,22 @@ class DramModel:
         self.line_size = line_size
         self.bytes_per_cycle_per_controller = bytes_per_cycle_per_controller
         self.accesses = 0
+        self.writes = 0
 
     def record_access(self) -> int:
         """Count one line fetch; returns the uncontended latency."""
         self.accesses += 1
         return self.base_latency
+
+    def record_write(self) -> None:
+        """Count one line written back to memory.
+
+        Writebacks are drained by the controllers off the critical path, so
+        they add no latency to the access that triggered the eviction; they
+        do consume channel bandwidth, which the contention model charges for
+        via the combined read+write line count at each barrier.
+        """
+        self.writes += 1
 
     @property
     def peak_lines_per_cycle(self) -> float:
@@ -58,3 +69,4 @@ class DramModel:
 
     def reset(self) -> None:
         self.accesses = 0
+        self.writes = 0

@@ -7,12 +7,20 @@ so the Figure 15 breakdown can be reproduced exactly.
 Simplifications relative to ZSim (documented in DESIGN.md): MESI is reduced
 to inclusive presence + dirty bits — the engines are synchronous and
 partition writes by chunk, so cross-core write races do not occur; read
-sharing is naturally captured by the shared L3.  Dirty L3 evictions are
-counted as DRAM accesses (writebacks); OAG lines are never dirty, matching
-the paper's "discard rather than write back" rule for OAG entries.
+sharing is naturally captured by the shared L3.
+
+Write traffic: victim dirty bits thread down the hierarchy (an L1 dirty
+victim is absorbed by the L2 copy, an L2 dirty victim by the L3 copy, and
+so on), and a line finally written back to memory is counted per array in
+``dram_writebacks_by_array`` — a counter *separate* from ``dram_by_array``,
+which holds line *fetches* only, so the Figure 2/14/15 read-count ratios
+are unaffected by the write path.  OAG lines are never dirty, matching the
+paper's "discard rather than write back" rule for OAG entries.
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.sim.cache import Cache
 from repro.sim.coherence import MesiDirectory
@@ -52,12 +60,25 @@ class MemoryHierarchy:
             line_size=config.line_size,
             bytes_per_cycle_per_controller=config.dram_bytes_per_cycle_per_controller,
         )
-        # DRAM accesses attributed per array (Figure 15).
+        # DRAM line fetches attributed per array (Figure 15) and, separately,
+        # DRAM line writebacks per array (write traffic never pollutes the
+        # read counts the figures are built from).
         self.dram_by_array = [0] * _NUM_ARRAYS
+        self.dram_writebacks_by_array = [0] * _NUM_ARRAYS
+        # Probe counters for the invariant checker: every demand/engine call
+        # into the hierarchy bumps one of these, so conservation equations
+        # hold even for engines that take the ``engine_access`` bound method
+        # and bypass any observing facade.
+        self.demand_probes = 0
+        self.engine_probes = 0
+        # Invariant-checker hook: called with the line number whenever a
+        # dirty line is retired to memory.  Charges nothing.
+        self.on_writeback: Callable[[int], None] | None = None
         # Optional MESI directory (Table I); tracks the L2 level, the larger
         # private cache, as each core's coherence point.
         self.coherence = MesiDirectory() if config.track_coherence else None
-        # Which cores may hold a line in a private cache (for inclusion).
+        # Which cores may hold a line in a private cache (for inclusive-L3
+        # back-invalidation); maintained only when ``inclusive_l3`` is set.
         self._owners: dict[int, set[int]] = {}
         self._l3_latency_cache: dict[int, int] = {}
 
@@ -77,19 +98,94 @@ class MemoryHierarchy:
             self._l3_latency_cache[key] = latency
         return latency
 
-    def _back_invalidate(self, line: int) -> None:
-        """Inclusive L3: an evicted line must leave all private caches."""
+    def _writeback_to_dram(self, line: int) -> None:
+        """Retire a dirty line to memory, attributed to its owning array."""
+        self.dram_writebacks_by_array[self.layout.array_of_line(line)] += 1
+        self.dram.record_write()
+        if self.on_writeback is not None:
+            self.on_writeback(line)
+
+    def _back_invalidate(self, line: int) -> bool:
+        """Inclusive L3: an evicted line must leave all private caches.
+
+        Returns whether any invalidated private copy was dirty — the caller
+        must then write the line back to memory, since ``Cache.invalidate``
+        discards the dirty bit along with the line.
+        """
         owners = self._owners.pop(line, None)
         if not owners:
-            return
+            return False
+        dirty = False
         for core in owners:
+            dirty = self.l1[core].is_dirty(line) or dirty
+            dirty = self.l2[core].is_dirty(line) or dirty
             self.l1[core].invalidate(line)
             self.l2[core].invalidate(line)
             if self.coherence is not None:
                 self.coherence.on_evict(core, line)
+        return dirty
 
     def _note_owner(self, line: int, core: int) -> None:
         self._owners.setdefault(line, set()).add(core)
+
+    def _prune_owner(self, line: int, core: int) -> None:
+        """Drop ``core`` from a line's owner set once neither private cache
+        holds the line, so back-invalidation never targets stale owners."""
+        if self.l1[core].contains(line) or self.l2[core].contains(line):
+            return
+        owners = self._owners.get(line)
+        if owners is not None:
+            owners.discard(core)
+            if not owners:
+                del self._owners[line]
+
+    # -- fill helpers (victim dirty-bit propagation) --------------------------
+
+    def _fill_l1(self, core: int, line: int, dirty: bool) -> None:
+        """Fill the core's L1; a dirty victim is absorbed by the copy in
+        L2, else L3, else written back to memory directly."""
+        l1 = self.l1[core]
+        victim = l1.victim_of(line)
+        victim_dirty = victim is not None and l1.is_dirty(victim)
+        l1.fill(line, dirty=dirty)
+        if victim is None:
+            return
+        if victim_dirty:
+            if not self.l2[core].mark_dirty(victim) and not self.l3.mark_dirty(
+                victim
+            ):
+                self._writeback_to_dram(victim)
+        if self.config.inclusive_l3:
+            self._prune_owner(victim, core)
+
+    def _fill_l2(self, core: int, line: int) -> None:
+        """Fill the core's L2; a dirty victim is absorbed by the L3 copy or
+        written back to memory."""
+        l2 = self.l2[core]
+        victim = l2.victim_of(line)
+        victim_dirty = victim is not None and l2.is_dirty(victim)
+        l2.fill(line)
+        if victim is None:
+            return
+        if self.coherence is not None:
+            self.coherence.on_evict(core, victim)
+        if victim_dirty and not self.l3.mark_dirty(victim):
+            self._writeback_to_dram(victim)
+        if self.config.inclusive_l3:
+            self._prune_owner(victim, core)
+
+    def _fill_l3(self, line: int) -> None:
+        """Fill the shared L3; a dirty victim — or one with a dirty private
+        copy under inclusion — is written back to memory."""
+        victim = self.l3.victim_of(line)
+        victim_dirty = victim is not None and self.l3.is_dirty(victim)
+        self.l3.fill(line)
+        if victim is None:
+            return
+        if self.config.inclusive_l3:
+            victim_dirty = self._back_invalidate(victim) or victim_dirty
+        if victim_dirty:
+            self._writeback_to_dram(victim)
 
     # -- the access path ------------------------------------------------------
 
@@ -97,6 +193,7 @@ class MemoryHierarchy:
         """Perform one element access; returns its latency in core cycles."""
         config = self.config
         line = self.layout.line_of(array, index)
+        self.demand_probes += 1
 
         if self.coherence is not None:
             if write:
@@ -107,13 +204,14 @@ class MemoryHierarchy:
         latency = config.l1_latency
         if self.l1[core].lookup(line):
             if write:
-                self.l1[core].fill(line, dirty=True)
+                self.l1[core].mark_dirty(line)
             return latency
 
         latency += config.l2_latency
         if self.l2[core].lookup(line):
-            self.l1[core].fill(line, dirty=write)
-            self._note_owner(line, core)
+            self._fill_l1(core, line, dirty=write)
+            if self.config.inclusive_l3:
+                self._note_owner(line, core)
             return latency
 
         latency += self._l3_round_trip(core, line)
@@ -121,14 +219,10 @@ class MemoryHierarchy:
             # Miss to DRAM.
             latency += self.dram.record_access()
             self.dram_by_array[array] += 1
-            victim = self.l3.fill(line)
-            if victim is not None and self.config.inclusive_l3:
-                self._back_invalidate(victim)
+            self._fill_l3(line)
 
-        victim = self.l2[core].fill(line)
-        if victim is not None and self.coherence is not None:
-            self.coherence.on_evict(core, victim)
-        self.l1[core].fill(line, dirty=write)
+        self._fill_l2(core, line)
+        self._fill_l1(core, line, dirty=write)
         if self.config.inclusive_l3:
             self._note_owner(line, core)
         return latency
@@ -143,6 +237,7 @@ class MemoryHierarchy:
         """
         config = self.config
         line = self.layout.line_of(array, index)
+        self.engine_probes += 1
         latency = config.l2_latency
         if self.l2[core].lookup(line):
             return latency
@@ -150,14 +245,10 @@ class MemoryHierarchy:
         if not self.l3.lookup(line):
             latency += self.dram.record_access()
             self.dram_by_array[array] += 1
-            victim = self.l3.fill(line)
-            if victim is not None and self.config.inclusive_l3:
-                self._back_invalidate(victim)
+            self._fill_l3(line)
         if self.coherence is not None:
             self.coherence.on_read(core, line)
-        victim = self.l2[core].fill(line)
-        if victim is not None and self.coherence is not None:
-            self.coherence.on_evict(core, victim)
+        self._fill_l2(core, line)
         if self.config.inclusive_l3:
             self._note_owner(line, core)
         return latency
@@ -187,11 +278,21 @@ class MemoryHierarchy:
         return {ArrayId(i): count for i, count in enumerate(self.dram_by_array)}
 
     def writebacks(self) -> int:
-        """Dirty lines evicted from the L3 back to memory."""
-        return self.l3.stats.writebacks
+        """Dirty lines written back from the hierarchy to memory."""
+        return sum(self.dram_writebacks_by_array)
+
+    def writeback_breakdown(self) -> dict[ArrayId, int]:
+        """Per-array DRAM write traffic (the write-side of Figure 15)."""
+        return {
+            ArrayId(i): count
+            for i, count in enumerate(self.dram_writebacks_by_array)
+        }
 
     def reset_stats(self) -> None:
         for cache in (*self.l1, *self.l2, self.l3):
             cache.reset_stats()
         self.dram.reset()
         self.dram_by_array = [0] * _NUM_ARRAYS
+        self.dram_writebacks_by_array = [0] * _NUM_ARRAYS
+        self.demand_probes = 0
+        self.engine_probes = 0

@@ -67,3 +67,9 @@ class NullSystem:
 
     def dram_breakdown(self) -> dict[ArrayId, int]:
         return {array: 0 for array in ArrayId}
+
+    def dram_writebacks(self) -> int:
+        return 0
+
+    def dram_writeback_breakdown(self) -> dict[ArrayId, int]:
+        return {array: 0 for array in ArrayId}

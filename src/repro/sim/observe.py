@@ -72,6 +72,16 @@ class Observer:
     def on_event(self, event: EngineEvent) -> None:
         """An iteration/phase boundary event from the engine loop."""
 
+    def violations(self) -> list[str]:
+        """Invariant violations this observer detected (none by default).
+
+        Declared on the base class so :meth:`InstrumentedSystem.telemetry`
+        can aggregate every observer's findings into
+        :class:`~repro.sim.telemetry.RunTelemetry` without knowing about
+        the checker types.
+        """
+        return []
+
 
 class PhaseProfiler(Observer):
     """Aggregates where cycles and DRAM accesses go, per phase kind."""
@@ -81,6 +91,7 @@ class PhaseProfiler(Observer):
         self._system: InstrumentedSystem | None = None
         self._current: PhaseProfile | None = None
         self._dram_before: dict[ArrayId, int] = {}
+        self._writebacks_before = 0
 
     def on_attach(self, system: "InstrumentedSystem") -> None:
         self._system = system
@@ -117,6 +128,7 @@ class PhaseProfiler(Observer):
             profile.activations += 1
             self._current = profile
             self._dram_before = self._system.dram_breakdown()
+            self._writebacks_before = self._system.dram_writebacks()
         elif event.kind == PHASE_END and self._current is not None:
             after = self._system.dram_breakdown()
             for array, count in after.items():
@@ -126,6 +138,9 @@ class PhaseProfiler(Observer):
                         self._current.dram_by_array.get(array, 0) + delta
                     )
                     self._current.dram_accesses += delta
+            self._current.dram_writebacks += (
+                self._system.dram_writebacks() - self._writebacks_before
+            )
             self._current = None
 
 
@@ -291,7 +306,20 @@ class InstrumentedSystem:
     def dram_breakdown(self) -> dict[ArrayId, int]:
         return self.inner.dram_breakdown()
 
+    def dram_writebacks(self) -> int:
+        return self.inner.dram_writebacks()
+
+    def dram_writeback_breakdown(self) -> dict[ArrayId, int]:
+        return self.inner.dram_writeback_breakdown()
+
     # -- telemetry assembly --------------------------------------------------
+
+    def violations(self) -> list[str]:
+        """Invariant violations reported by any attached observer."""
+        found: list[str] = []
+        for observer in self.observers:
+            found.extend(observer.violations())
+        return found
 
     def telemetry(
         self,
@@ -310,4 +338,5 @@ class InstrumentedSystem:
             ),
             chain_stats=dict(chain_stats or {}),
             fifo=dict(fifo or {}),
+            violations=self.violations(),
         )

@@ -28,6 +28,7 @@ from repro.sim.layout import ArrayId
 from repro.sim.timing import TimingBreakdown
 
 if TYPE_CHECKING:
+    from repro.hypergraph.frontier import Frontier
     from repro.sim.hierarchy import MemoryHierarchy
 
 __all__ = [
@@ -52,7 +53,10 @@ class EngineEvent:
 
     ``frontier_size``/``frontier_density`` describe the frontier *driving*
     a phase on ``PHASE_BEGIN`` and the frontier *produced* by it on
-    ``PHASE_END``; they are zero on iteration events.
+    ``PHASE_END``; they are zero on iteration events.  ``frontier`` is the
+    live :class:`~repro.hypergraph.frontier.Frontier` those numbers were
+    read from, when the emitting engine has one — observers such as the
+    invariant checker may inspect it (read-only) but must not mutate it.
     """
 
     kind: str
@@ -60,6 +64,7 @@ class EngineEvent:
     phase: str | None = None
     frontier_size: int = 0
     frontier_density: float = 0.0
+    frontier: "Frontier | None" = None
 
 
 @runtime_checkable
@@ -114,3 +119,7 @@ class MemorySystem(Protocol):
     def dram_accesses(self) -> int: ...
 
     def dram_breakdown(self) -> dict[ArrayId, int]: ...
+
+    def dram_writebacks(self) -> int: ...
+
+    def dram_writeback_breakdown(self) -> dict[ArrayId, int]: ...

@@ -37,6 +37,9 @@ class SimulatedSystem:
         self.timer = PhaseTimer(config)
         self.energy_model = EnergyModel()
         self.total_compute_cycles = 0.0
+        # DRAM line count (fetches + writebacks) at the last barrier, for
+        # per-phase bandwidth-contention accounting.
+        self._phase_dram_mark = 0
 
     # -- demand-side accesses (the general-purpose core) --------------------
 
@@ -75,7 +78,14 @@ class SimulatedSystem:
     # -- phases ---------------------------------------------------------------
 
     def barrier(self) -> float:
-        return self.timer.barrier()
+        dram = self.hierarchy.dram
+        if not self.config.dram_contention:
+            self._phase_dram_mark = dram.accesses + dram.writes
+            return self.timer.barrier()
+        lines = dram.accesses + dram.writes
+        phase_lines = lines - self._phase_dram_mark
+        self._phase_dram_mark = lines
+        return self.timer.barrier(dram=dram, dram_lines=phase_lines)
 
     def on_event(self, event: "EngineEvent") -> None:
         """Engine-loop boundary events charge nothing on a plain system."""
@@ -95,6 +105,12 @@ class SimulatedSystem:
 
     def dram_breakdown(self) -> dict[ArrayId, int]:
         return self.hierarchy.dram_breakdown()
+
+    def dram_writebacks(self) -> int:
+        return self.hierarchy.writebacks()
+
+    def dram_writeback_breakdown(self) -> dict[ArrayId, int]:
+        return self.hierarchy.writeback_breakdown()
 
     def energy(self) -> EnergyReport:
         return self.energy_model.report(self.hierarchy, self.total_compute_cycles)

@@ -41,6 +41,7 @@ class PhaseProfile:
     accesses: dict[str, int] = dataclasses.field(default_factory=dict)
     dram_accesses: int = 0
     dram_by_array: dict[ArrayId, int] = dataclasses.field(default_factory=dict)
+    dram_writebacks: int = 0
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -56,6 +57,7 @@ class PhaseProfile:
                 str(int(array)): int(count)
                 for array, count in self.dram_by_array.items()
             },
+            "dram_writebacks": self.dram_writebacks,
         }
 
     @classmethod
@@ -73,6 +75,7 @@ class PhaseProfile:
                 ArrayId(int(key)): int(count)
                 for key, count in payload["dram_by_array"].items()
             },
+            dram_writebacks=int(payload.get("dram_writebacks", 0)),
         )
 
 
@@ -129,6 +132,9 @@ class RunTelemetry:
     iterations: list[IterationProfile] = dataclasses.field(default_factory=list)
     chain_stats: dict[str, float] = dataclasses.field(default_factory=dict)
     fifo: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Invariant violations observed during the run (empty on a clean run,
+    #: and on unchecked runs).
+    violations: list[str] = dataclasses.field(default_factory=list)
 
     @property
     def mean_frontier_density(self) -> float:
@@ -146,6 +152,7 @@ class RunTelemetry:
             "iterations": [it.to_json() for it in self.iterations],
             "chain_stats": dict(self.chain_stats),
             "fifo": dict(self.fifo),
+            "violations": list(self.violations),
         }
 
     @classmethod
@@ -162,4 +169,5 @@ class RunTelemetry:
                 str(k): float(v) for k, v in payload["chain_stats"].items()
             },
             fifo={str(k): float(v) for k, v in payload["fifo"].items()},
+            violations=[str(v) for v in payload.get("violations", [])],
         )

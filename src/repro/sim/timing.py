@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.sim.config import SystemConfig
+from repro.sim.dram import DramModel
 
 __all__ = ["PhaseTimer", "TimingBreakdown"]
 
@@ -72,21 +73,52 @@ class PhaseTimer:
 
     # -- barriers -----------------------------------------------------------
 
-    def barrier(self, sync_overhead: float = 50.0) -> float:
+    def _contended_core_time(self, core: int, factor: float) -> float:
+        """Phase time of one core with memory stalls inflated by queueing."""
+        stall = (self._memory[core] * factor) / self.config.mlp
+        return max(self._compute[core] + stall, self._engine[core])
+
+    def barrier(
+        self,
+        sync_overhead: float = 50.0,
+        dram: DramModel | None = None,
+        dram_lines: int = 0,
+    ) -> float:
         """Close the phase: elapsed = max over cores (+ sync cost).
 
         Returns the phase duration and folds per-core totals into the run
         breakdown.  Per-core accumulators reset for the next phase.
+
+        When ``dram`` is given (the ``dram_contention`` config flag), the
+        phase's demanded line count inflates every core's memory stalls by
+        ``DramModel.contention_factor`` — utilisation is measured against
+        the *uncontended* phase length — and the phase is floored at the
+        channel drain time for those lines.  With ``dram=None`` (or zero
+        lines, where the factor is exactly 1.0) the arithmetic below reduces
+        to the historical path, keeping default-config figures
+        bit-identical.
         """
         if self.num_cores == 0:
             return 0.0
-        phase = max(self.core_time(core) for core in range(self.num_cores))
+        uncontended = max(self.core_time(core) for core in range(self.num_cores))
+        factor = 1.0
+        if dram is not None:
+            factor = dram.contention_factor(dram_lines, uncontended)
+        phase = max(
+            self._contended_core_time(core, factor)
+            for core in range(self.num_cores)
+        )
+        if dram is not None:
+            phase = max(phase, dram.drain_cycles(dram_lines))
         phase += sync_overhead
-        busiest = max(range(self.num_cores), key=self.core_time)
+        busiest = max(
+            range(self.num_cores),
+            key=lambda core: self._contended_core_time(core, factor),
+        )
         self.breakdown.total_cycles += phase
         self.breakdown.compute_cycles += self._compute[busiest]
         self.breakdown.memory_stall_cycles += (
-            self._memory[busiest] / self.config.mlp
+            self._memory[busiest] * factor / self.config.mlp
         )
         self.breakdown.engine_cycles += self._engine[busiest]
         self.breakdown.barriers += 1

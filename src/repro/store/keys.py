@@ -34,7 +34,11 @@ __all__ = [
 #:
 #: v2: ``RunResult`` payloads carry an optional ``telemetry`` record and
 #: run keys distinguish profiled from plain runs.
-STORE_SCHEMA_VERSION = 2
+#:
+#: v3: ``RunResult`` payloads carry DRAM write traffic
+#: (``dram_writebacks`` and the per-array breakdown) now that the
+#: hierarchy drains dirty evictions to memory instead of dropping them.
+STORE_SCHEMA_VERSION = 3
 
 
 def _hash_arrays(h: "hashlib._Hash", *arrays: np.ndarray) -> None:

@@ -196,6 +196,11 @@ def run_result_to_json(result: RunResult) -> dict:
         "memory_stall_cycles": result.memory_stall_cycles,
         "dram_accesses": result.dram_accesses,
         "dram_by_array": {str(int(k)): int(v) for k, v in result.dram_by_array.items()},
+        "dram_writebacks": result.dram_writebacks,
+        "dram_writebacks_by_array": {
+            str(int(k)): int(v)
+            for k, v in result.dram_writebacks_by_array.items()
+        },
         "chain_stats": result.chain_stats,
         "extra": extra,
         "extra_dropped": dropped,
@@ -230,6 +235,11 @@ def run_result_from_json(payload: dict) -> RunResult:
             dram_accesses=payload["dram_accesses"],
             dram_by_array={
                 ArrayId(int(k)): v for k, v in payload["dram_by_array"].items()
+            },
+            dram_writebacks=payload["dram_writebacks"],
+            dram_writebacks_by_array={
+                ArrayId(int(k)): v
+                for k, v in payload["dram_writebacks_by_array"].items()
             },
             chain_stats=payload["chain_stats"],
             extra=payload["extra"],

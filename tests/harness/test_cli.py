@@ -182,3 +182,40 @@ def test_bench_profile_summary(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "Profile summary" in out
     assert "mean density" in out
+
+
+def test_check_command_clean(capsys):
+    code = main([
+        "check", "--graphs", "1", "--engines", "Hygra,GLA,ChGraph",
+        "--algorithms", "CC", "--no-ordering", "--quiet",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "differential: OK" in out
+
+
+def test_check_command_detects_injected_fault(capsys):
+    code = main([
+        "check", "--graphs", "1", "--engines", "Hygra,ChGraph",
+        "--algorithms", "CC", "--no-ordering", "--quiet",
+        "--inject-fault", "lost-writeback",
+    ])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "differential: FAIL" in captured.out
+    assert "VIOLATION" in captured.err
+
+
+def test_check_command_rejects_unknown_names(capsys):
+    assert main(["check", "--engines", "NoSuchEngine", "--quiet"]) == 2
+    assert main(["check", "--algorithms", "NoSuchAlgo", "--quiet"]) == 2
+
+
+def test_profile_check_flag_clean(capsys):
+    code = main([
+        "profile", "--engines", "Hygra", "--algorithm", "BFS",
+        "--dataset", "OG", "--cores", "2", "--llc-kb", "2", "--check",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "check: all invariants held" in out

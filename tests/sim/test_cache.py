@@ -144,3 +144,66 @@ def test_most_recent_access_always_resident(accesses):
     for line in accesses:
         cache.access(line)
     assert cache.contains(accesses[-1])
+
+
+# -- stat-free probes (dirty propagation support) -----------------------------
+
+
+def test_victim_of_predicts_fill_eviction():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0)
+    cache.access(2)  # set 0 now full: 0 is LRU
+    assert cache.victim_of(4) == 0
+    cache.fill(4)
+    assert not cache.contains(0)
+
+
+def test_victim_of_none_when_no_eviction():
+    cache = make_cache(lines=4, assoc=2)
+    assert cache.victim_of(0) is None  # set has free ways
+    cache.access(0)
+    assert cache.victim_of(0) is None  # already resident
+
+
+def test_probes_do_not_touch_lru_or_stats():
+    cache = make_cache(lines=4, assoc=2)
+    cache.access(0, write=True)
+    cache.access(2)  # LRU order in set 0: [0, 2]
+    before = (cache.stats.accesses, cache.stats.hits, cache.stats.misses)
+    cache.victim_of(4)
+    cache.is_dirty(0)
+    cache.dirty_lines()
+    cache.max_set_occupancy()
+    assert (cache.stats.accesses, cache.stats.hits,
+            cache.stats.misses) == before
+    cache.fill(4)  # probes must not have promoted 0: it is still the LRU
+    assert not cache.contains(0)
+    assert cache.contains(2)
+
+
+def test_mark_dirty_resident_line_only():
+    cache = make_cache()
+    cache.access(0)
+    assert not cache.is_dirty(0)
+    assert cache.mark_dirty(0) is True
+    assert cache.is_dirty(0)
+    assert cache.mark_dirty(64) is False  # absent line: caller handles it
+    assert not cache.is_dirty(64)
+
+
+def test_dirty_lines_sorted_snapshot():
+    cache = make_cache(lines=8, assoc=2)
+    for line in (5, 1, 3):
+        cache.access(line, write=True)
+    cache.access(2)
+    assert cache.dirty_lines() == [1, 3, 5]
+
+
+def test_max_set_occupancy_within_associativity():
+    cache = make_cache(lines=4, assoc=2)
+    assert cache.max_set_occupancy() == 0
+    cache.access(0)
+    assert cache.max_set_occupancy() == 1
+    cache.access(2)
+    cache.access(4)
+    assert cache.max_set_occupancy() == 2

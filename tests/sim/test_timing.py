@@ -71,3 +71,56 @@ def test_sync_overhead_added():
     timer.charge_compute(0, 10)
     phase = timer.barrier(sync_overhead=50)
     assert phase == pytest.approx(60)
+
+
+# -- DRAM bandwidth contention at the barrier ---------------------------------
+
+
+def make_dram():
+    from repro.sim.dram import DramModel
+
+    config = scaled_config()
+    return DramModel(
+        num_controllers=config.dram_controllers,
+        base_latency=config.dram_latency,
+        line_size=config.line_size,
+        bytes_per_cycle_per_controller=(
+            config.dram_bytes_per_cycle_per_controller
+        ),
+    )
+
+
+def test_barrier_without_demand_is_uncontended():
+    a = make_timer()
+    b = make_timer()
+    for timer in (a, b):
+        timer.charge_compute(0, 100)
+        timer.charge_memory(0, 400)
+    # Zero demanded lines: the contended path must degrade to exactly the
+    # uncontended arithmetic (factor 1.0, no drain floor).
+    assert a.barrier(sync_overhead=0) == b.barrier(
+        sync_overhead=0, dram=make_dram(), dram_lines=0
+    )
+
+
+def test_contention_inflates_memory_bound_phase():
+    dram = make_dram()
+    results = []
+    for lines in (0, 1_000, 100_000):
+        timer = make_timer()
+        timer.charge_memory(0, 1_000)
+        results.append(
+            timer.barrier(sync_overhead=0, dram=dram, dram_lines=lines)
+        )
+    # Monotone in demanded lines, strictly greater once demand saturates.
+    assert results[0] <= results[1] <= results[2]
+    assert results[2] > results[0]
+
+
+def test_contended_phase_floored_at_drain_time():
+    dram = make_dram()
+    timer = make_timer()
+    timer.charge_compute(0, 1)  # nearly idle cores
+    lines = 1_000_000
+    phase = timer.barrier(sync_overhead=0, dram=dram, dram_lines=lines)
+    assert phase >= dram.drain_cycles(lines)

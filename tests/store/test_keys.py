@@ -75,6 +75,6 @@ def test_run_result_key_separates_profiled_runs(figure1):
     assert plain == run_result_key("ChGraph", "PR", h, config, 2, profile=False)
 
 
-def test_schema_version_bumped_for_telemetry():
-    """v2 added the telemetry field to serialized run results."""
-    assert STORE_SCHEMA_VERSION == 2
+def test_schema_version_bumped_for_write_traffic():
+    """v3 added DRAM write traffic to serialized run results."""
+    assert STORE_SCHEMA_VERSION == 3

@@ -106,6 +106,11 @@ def test_run_result_json_roundtrip(small_hypergraph):
     assert np.array_equal(loaded.hyperedge_values, result.hyperedge_values)
     assert loaded.dram_by_array == result.dram_by_array
     assert all(isinstance(k, ArrayId) for k in loaded.dram_by_array)
+    assert loaded.dram_writebacks == result.dram_writebacks
+    assert loaded.dram_writebacks_by_array == result.dram_writebacks_by_array
+    assert all(
+        isinstance(k, ArrayId) for k in loaded.dram_writebacks_by_array
+    )
     assert loaded.chain_stats == result.chain_stats
     assert loaded.extra == {"note": "kept"}
     assert loaded.dram_by_group == result.dram_by_group
