@@ -33,7 +33,27 @@ from repro.engine import (
 from repro.hypergraph import Csr, Frontier, Hypergraph
 from repro.store import ArtifactStore
 
-__version__ = "1.1.0"
+#: Source-tree fallback; must match ``[project] version`` in pyproject.toml
+#: (``tests/test_public_api.py`` pins the two together).
+_FALLBACK_VERSION = "1.2.0"
+
+
+def _detect_version() -> str:
+    """The installed distribution version, else the source-tree fallback.
+
+    Package metadata is the single source of truth for deployments (wheels,
+    editable installs); running straight off ``PYTHONPATH=src`` has no
+    metadata, so the literal above stands in.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "Adsorption",

@@ -31,10 +31,24 @@ Commands
     persist them into the artifact store.
 ``cache``
     Inspect or maintain the artifact store (``stats``/``ls``/``gc``/``clear``).
+``serve``
+    Run the long-lived simulation service (``repro.service``): JSON over
+    HTTP with request coalescing, admission control, a store-backed fast
+    path and graceful SIGTERM drain.
+``submit``
+    Submit one run to a running service and (by default) wait for it,
+    printing the same summary table ``run`` prints — byte-identical.
+``status``
+    Poll a job by id, or print the service's /healthz + /stats overview.
 
 The artifact store root comes from ``--cache-dir`` or ``$REPRO_CACHE_DIR``;
 ``run``/``compare``/``experiment`` transparently reuse persisted artifacts
 whenever the environment variable is set.
+
+Errors derived from :class:`~repro.errors.ReproError` exit with their
+class's distinct exit code (e.g. 75 for a retryable
+``ServiceOverloadedError``, 66 for ``JobNotFoundError``) instead of dumping
+a traceback; ``repro --version`` reports the package version.
 """
 
 from __future__ import annotations
@@ -43,11 +57,13 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import __version__
 from repro.engine.registry import engine_names
+from repro.errors import ReproError
 from repro.harness import differential
 from repro.harness import experiments as registry
 from repro.harness.report import render_table, render_telemetry
-from repro.harness.runner import Runner
+from repro.harness.runner import ALGORITHM_NAMES, Runner
 from repro.hypergraph.generators import PAPER_DATASETS
 from repro.sim.config import scaled_config
 from repro.store import ArtifactStore, prewarm, prewarm_jobs, resolve_cache_dir
@@ -57,7 +73,8 @@ __all__ = ["main", "build_parser"]
 #: Every registered engine, in registry order — the single source of truth
 #: for ``--engine`` choices is :mod:`repro.engine.registry`.
 ENGINES = engine_names()
-ALGORITHMS = ("BFS", "PR", "MIS", "BC", "CC", "k-core", "SSSP", "Adsorption")
+#: Algorithm choices come from the harness (the layer that builds them).
+ALGORITHMS = ALGORITHM_NAMES
 
 #: Experiment ids resolvable by the ``experiment`` command.
 EXPERIMENTS = {
@@ -90,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ChGraph (HPCA 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -248,6 +268,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-mb", type=float, default=None,
         help="size bound for gc, in megabytes",
     )
+
+    def add_endpoint_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1", help="service host")
+        p.add_argument(
+            "--port", type=int, default=None,
+            help="service port (default: $REPRO_SERVICE_PORT or "
+                 f"{service_default_port()})",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived simulation service"
+    )
+    add_endpoint_args(serve)
+    add_cache_dir_arg(serve)
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound on queued jobs (default: 64)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation worker processes per batch (default: auto)",
+    )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock budget inside a worker, in seconds",
+    )
+    serve.add_argument(
+        "--job-retries", type=int, default=1,
+        help="re-dispatches before a failing job is reported failed",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.05,
+        help="seconds to batch concurrent submissions (default: 0.05)",
+    )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.0,
+        help="print a stats line every N seconds (default: off)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-job log lines"
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one run to a running service"
+    )
+    submit.add_argument("--engine", default="ChGraph", choices=ENGINES)
+    add_workload_args(submit)
+    add_endpoint_args(submit)
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher runs sooner; default: 0)",
+    )
+    submit.add_argument(
+        "--profile", action="store_true",
+        help="request an instrumented run (separate cache entry)",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the accepted job and return without waiting",
+    )
+    submit.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="give up waiting after N seconds (exit 70)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw job record as JSON instead of the summary table",
+    )
+
+    status = sub.add_parser(
+        "status", help="job status by id, or the service overview"
+    )
+    status.add_argument(
+        "job_id", nargs="?", default=None,
+        help="job id from submit (omit for /healthz + /stats overview)",
+    )
+    add_endpoint_args(status)
+    status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print raw JSON instead of a table",
+    )
     return parser
 
 
@@ -269,9 +370,9 @@ def _cmd_area(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    runner, config = _runner_and_config(args)
-    result = runner.run(args.engine, args.algorithm, args.dataset, config)
+def _render_run_result(result) -> str:
+    """The ``run`` summary table — shared verbatim by ``submit`` so a served
+    result renders byte-identically to a local run."""
     rows = [
         ["engine", result.engine],
         ["algorithm", result.algorithm],
@@ -285,7 +386,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             for group, count in result.dram_by_group.items()
         ],
     ]
-    print(render_table(["Quantity", "Value"], rows, title="Run summary"))
+    return render_table(["Quantity", "Value"], rows, title="Run summary")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner, config = _runner_and_config(args)
+    result = runner.run(args.engine, args.algorithm, args.dataset, config)
+    print(_render_run_result(result))
     return 0
 
 
@@ -560,8 +667,136 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def service_default_port() -> int:
+    """``$REPRO_SERVICE_PORT`` when set, else the package default port."""
+    import os
+
+    from repro.service.server import DEFAULT_PORT
+
+    return int(os.environ.get("REPRO_SERVICE_PORT", DEFAULT_PORT))
+
+
+def _client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    port = args.port if args.port is not None else service_default_port()
+    return ServiceClient(host=args.host, port=port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SchedulerConfig, ServiceConfig, SimulationService
+
+    root = resolve_cache_dir(args.cache_dir)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port if args.port is not None else service_default_port(),
+        cache_dir=None if root is None else str(root),
+        max_depth=args.max_queue,
+        scheduler=SchedulerConfig(
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            job_retries=args.job_retries,
+            batch_window=args.batch_window,
+        ),
+        stats_interval=args.stats_interval,
+    )
+
+    def log(message: str) -> None:
+        # The listening banner must always surface (scripts parse the
+        # bound port from it); per-job chatter is opt-out via --quiet.
+        if not args.quiet or message.startswith(("repro-serve", "drained")):
+            print(message, flush=True)
+
+    service = SimulationService(config, log=log)
+    asyncio.run(service.run())
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.service import JobRequest, ServiceClient
+
+    request = JobRequest(
+        engine=args.engine,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        cores=args.cores,
+        llc_kb=args.llc_kb,
+        pr_iterations=args.pr_iterations,
+        profile=args.profile,
+        priority=args.priority,
+    )
+    client = _client(args)
+    if args.no_wait:
+        job = client.submit(request)
+        if args.as_json:
+            print(json_module.dumps(job))
+        else:
+            print(f"{job['job_id']} {job['state']} ({request.label()})")
+        return 0
+    job = client.run(request, timeout=args.wait_timeout)
+    if args.as_json:
+        print(json_module.dumps(job))
+        return 0
+    print(_render_run_result(ServiceClient.run_result(job)))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    client = _client(args)
+    if args.job_id is not None:
+        job = client.status(args.job_id)
+        if args.as_json:
+            print(json_module.dumps(job))
+            return 0
+        rows = [
+            [field, "" if job.get(field) is None else job[field]]
+            for field in (
+                "job_id", "state", "key", "attempts", "served_from",
+                "coalesced_into", "latency", "error",
+            )
+        ]
+        request = job.get("request", {})
+        rows[2:2] = [[
+            "request",
+            f"{request.get('engine')}/{request.get('algorithm')}/"
+            f"{request.get('dataset')}",
+        ]]
+        print(render_table(["Field", "Value"], rows, title=f"Job {job['job_id']}"))
+        return 0 if job["state"] != "failed" else 1
+    health = client.health()
+    stats = client.stats()
+    if args.as_json:
+        print(json_module.dumps({"healthz": health, "stats": stats}))
+        return 0
+    rows = [[key, value] for key, value in health.items()]
+    rows += [
+        [key, value] for key, value in stats.items() if key != "latency"
+    ]
+    rows += [
+        [f"latency {key}", round(value, 4)]
+        for key, value in stats["latency"].items()
+    ]
+    print(render_table(
+        ["Quantity", "Value"], rows,
+        title=f"Service at {client.host}:{client.port}",
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    :class:`~repro.errors.ReproError` subclasses exit with their class's
+    ``exit_code`` and a one-line message instead of a traceback, so shells
+    and supervisors can distinguish e.g. a retryable overload (75) from a
+    missing job (66).
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "datasets": _cmd_datasets,
@@ -574,8 +809,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "prewarm": _cmd_prewarm,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

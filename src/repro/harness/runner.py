@@ -43,10 +43,16 @@ from repro.sim.config import SystemConfig, scaled_config
 from repro.sim.observe import InstrumentedSystem
 from repro.sim.system import SimulatedSystem
 
-__all__ = ["Runner", "get_runner", "PAPER_APPS"]
+__all__ = ["ALGORITHM_NAMES", "Runner", "get_runner", "PAPER_APPS"]
 
 #: The six applications of the paper's evaluation, in its order.
 PAPER_APPS: tuple[str, ...] = ("BFS", "PR", "MIS", "BC", "CC", "k-core")
+
+#: Every algorithm :meth:`Runner.algorithm` can build — the single source
+#: of truth for CLI/server request validation.
+ALGORITHM_NAMES: tuple[str, ...] = (
+    "BFS", "PR", "MIS", "BC", "CC", "k-core", "SSSP", "Adsorption",
+)
 
 
 def _full_mode() -> bool:

@@ -1,0 +1,184 @@
+"""Typed job records for the simulation service.
+
+A :class:`JobRequest` names one (engine, algorithm, dataset, config)
+simulation exactly the way ``repro run`` does; its :meth:`JobRequest.store_key`
+is the PR 2 :func:`~repro.store.keys.run_result_key`, which makes the
+request *content-addressed*: two requests share a key iff a completed
+result for one could legally serve the other (same dataset content, same
+config, same pr-iterations, same profile flag).  That key is what request
+coalescing and the store-backed fast path both hang off.
+
+A :class:`JobRecord` is the service-side lifecycle of one accepted request:
+``queued → running → done | failed``, with timestamps, retry attempts, the
+serialized :class:`~repro.engine.result.RunResult` payload once finished,
+and where the answer came from (``worker``/``inline``/``store``/
+``coalesced``).  Both records are plain JSON-serializable data so they can
+travel over the HTTP API unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import time
+from typing import Any
+
+__all__ = ["JOB_STATES", "JobRecord", "JobRequest"]
+
+#: Lifecycle states of a service job, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+_job_counter = itertools.count(1)
+
+
+def _new_job_id() -> str:
+    """Process-unique, monotonically readable job id (``job-7-1f2a…``)."""
+    import uuid
+
+    return f"job-{next(_job_counter)}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRequest:
+    """One requested simulation: the service-side twin of ``repro run``.
+
+    ``priority`` orders the queue (higher runs sooner); everything else
+    feeds :class:`~repro.harness.runner.Runner.run` unchanged, so a served
+    result is the same object a local run would produce.
+    """
+
+    engine: str
+    algorithm: str
+    dataset: str
+    cores: int = 16
+    llc_kb: int = 4
+    pr_iterations: int = 2
+    profile: bool = False
+    priority: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless every field names something real."""
+        from repro.engine.registry import engine_names
+        from repro.harness.runner import ALGORITHM_NAMES
+        from repro.hypergraph.generators import PAPER_DATASETS
+
+        if self.engine not in engine_names():
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.algorithm not in ALGORITHM_NAMES:
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.dataset not in (*PAPER_DATASETS, "AZ", "PK"):
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        for field, minimum in (("cores", 1), ("llc_kb", 1), ("pr_iterations", 1)):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < minimum:
+                raise ValueError(f"{field} must be an int >= {minimum}, got {value!r}")
+        if not isinstance(self.priority, int):
+            raise ValueError(f"priority must be an int, got {self.priority!r}")
+        if not isinstance(self.profile, bool):
+            raise ValueError(f"profile must be a bool, got {self.profile!r}")
+
+    def config(self):
+        """The :class:`~repro.sim.config.SystemConfig` this request runs under."""
+        from repro.sim.config import scaled_config
+
+        return scaled_config(num_cores=self.cores, llc_kb=self.llc_kb)
+
+    def store_key(self) -> str:
+        """The content-addressed :func:`~repro.store.keys.run_result_key`.
+
+        Loads (or generates) the dataset to hash its structure — cached
+        across calls by the harness dataset layer, so only the first
+        request for a dataset pays the materialization.
+        """
+        from repro.harness.datasets import graph_dataset, hypergraph_dataset
+        from repro.store.keys import run_result_key
+
+        if self.dataset in ("AZ", "PK"):
+            hypergraph = graph_dataset(self.dataset)
+        else:
+            hypergraph = hypergraph_dataset(self.dataset)
+        return run_result_key(
+            self.engine,
+            self.algorithm,
+            hypergraph.content_hash(),
+            self.config(),
+            self.pr_iterations,
+            profile=self.profile,
+        )
+
+    def label(self) -> str:
+        """Short human-readable tag for logs and stats lines."""
+        return f"{self.engine}/{self.algorithm}/{self.dataset}"
+
+    def to_json(self) -> dict[str, Any]:
+        """Plain-dict form for the HTTP API."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, obj: Any) -> "JobRequest":
+        """Parse and validate a request payload; ``ValueError`` on junk."""
+        if not isinstance(obj, dict):
+            raise ValueError("job request must be a JSON object")
+        fields = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(obj) - fields)
+        if unknown:
+            raise ValueError(f"unknown job request field(s): {', '.join(unknown)}")
+        for required in ("engine", "algorithm", "dataset"):
+            if required not in obj:
+                raise ValueError(f"job request is missing {required!r}")
+        request = cls(**obj)
+        request.validate()
+        return request
+
+
+@dataclasses.dataclass
+class JobRecord:
+    """The service-side lifecycle of one accepted :class:`JobRequest`."""
+
+    request: JobRequest
+    key: str
+    job_id: str = dataclasses.field(default_factory=_new_job_id)
+    state: str = "queued"
+    submitted_at: float = dataclasses.field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    error: str | None = None
+    #: Serialized ``RunResult`` (the store's JSON payload) once finished.
+    result: dict[str, Any] | None = None
+    #: Primary job this record coalesced onto, if any.
+    coalesced_into: str | None = None
+    #: Where the answer came from: ``worker``/``inline``/``store``/``coalesced``.
+    served_from: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the record reached a terminal state."""
+        return self.state in ("done", "failed")
+
+    @property
+    def latency(self) -> float | None:
+        """Submit-to-finish wall seconds, once finished."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def status_json(self, include_result: bool = False) -> dict[str, Any]:
+        """The JSON the HTTP API serves for this job."""
+        payload: dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "key": self.key,
+            "request": self.request.to_json(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "error": self.error,
+            "coalesced_into": self.coalesced_into,
+            "served_from": self.served_from,
+            "latency": self.latency,
+        }
+        if include_result and self.result is not None:
+            payload["result"] = self.result
+        return payload

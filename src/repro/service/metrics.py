@@ -1,0 +1,100 @@
+"""Service observability: counters, latency percentiles, stats rendering.
+
+One :class:`ServiceMetrics` instance is shared by the queue (completions,
+latencies), the scheduler (store hits, computes, retries) and the HTTP
+layer (submissions, rejections); ``GET /stats`` serves its
+:meth:`~ServiceMetrics.snapshot` and ``repro serve --stats-interval``
+prints its :meth:`~ServiceMetrics.render_line` periodically.
+
+Latencies are kept in a bounded ring (the service is meant to run for a
+long time), so the percentiles are over the most recent completions.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+from typing import Any
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Mutating counter bag for one service instance (not thread-safe; all
+    writers run on the service's event loop)."""
+
+    #: Latency percentiles served on ``/stats``.
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, max_latencies: int = 4096) -> None:
+        self.submitted = 0  # POST /jobs requests that parsed
+        self.accepted = 0  # admitted as a new (primary) execution
+        self.coalesced = 0  # attached to an in-flight execution instead
+        self.rejected = 0  # refused by admission control / drain
+        self.completed = 0  # records that reached `done` (incl. followers)
+        self.failed = 0  # records that reached `failed`
+        self.store_hits = 0  # primaries answered by the store fast path
+        self.computed = 0  # primaries that actually ran a simulation
+        self.retries = 0  # job re-dispatches after a failed attempt
+        self._latencies: collections.deque[float] = collections.deque(
+            maxlen=max_latencies
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one job's submit-to-finish latency."""
+        self._latencies.append(seconds)
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def store_hit_ratio(self) -> float:
+        """Fraction of answered executions served straight from the store."""
+        answered = self.store_hits + self.computed
+        return self.store_hits / answered if answered else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained latencies (0.0 empty)."""
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0) -> dict[str, Any]:
+        """The ``/stats`` payload: counters, gauges and latency summary."""
+        latencies = list(self._latencies)
+        return {
+            "queue_depth": queue_depth,
+            "in_flight": in_flight,
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "store_hits": self.store_hits,
+            "computed": self.computed,
+            "retries": self.retries,
+            "store_hit_ratio": round(self.store_hit_ratio, 4),
+            "latency": {
+                "count": len(latencies),
+                "mean": sum(latencies) / len(latencies) if latencies else 0.0,
+                **{
+                    f"p{p:g}": self.percentile(p)
+                    for p in self.PERCENTILES
+                },
+            },
+        }
+
+    def render_line(self, queue_depth: int = 0, in_flight: int = 0) -> str:
+        """One compact stats line for ``repro serve --stats-interval``."""
+        return (
+            f"stats: depth={queue_depth} inflight={in_flight} "
+            f"done={self.completed} failed={self.failed} "
+            f"coalesced={self.coalesced} rejected={self.rejected} "
+            f"store-hit={self.store_hit_ratio:.0%} "
+            f"p50={self.percentile(50):.3f}s p95={self.percentile(95):.3f}s "
+            f"p99={self.percentile(99):.3f}s"
+        )

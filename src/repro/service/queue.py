@@ -1,0 +1,266 @@
+"""Bounded priority queue with request coalescing and admission control.
+
+The queue is the service's single point of truth for job state.  Three
+properties matter:
+
+**Coalescing.**  Jobs are keyed by their content-addressed store key; a
+submit whose key matches an execution already *in flight* (queued or
+running) does not enqueue a second execution — it attaches a follower
+record to the primary, and the primary's completion fans out to every
+follower.  Eight concurrent identical requests cost one simulation.
+
+**Admission control.**  The number of queued primaries is bounded by
+``max_depth``; a submit that would exceed it is rejected with a retryable
+:class:`~repro.errors.ServiceOverloadedError` (coalescing submits are
+always admitted — they add no work).  In-flight jobs are never shed.
+
+**Drain.**  :meth:`JobQueue.drain` flips the queue into draining mode
+(submissions rejected) and waits until every accepted job has finished, so
+a SIGTERM never loses admitted work.
+
+All mutation happens on the service's event loop thread; the asyncio
+condition only sequences scheduler wake-ups and drain waits, not
+cross-thread access.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import heapq
+import itertools
+import time
+from typing import Any
+
+from repro.errors import JobNotFoundError, ServiceOverloadedError
+from repro.service.jobs import JobRecord, JobRequest
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority job queue with coalescing, admission control and drain.
+
+    ``max_depth`` bounds *queued primaries* (running jobs and coalesced
+    followers are not counted: the former are already paid for, the latter
+    are free).  ``retain_finished`` bounds how many terminal records stay
+    addressable via :meth:`get` before the oldest are evicted.
+    """
+
+    def __init__(
+        self,
+        metrics: ServiceMetrics | None = None,
+        max_depth: int = 64,
+        retain_finished: int = 1024,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.max_depth = max_depth
+        self.retain_finished = retain_finished
+        self.draining = False
+        self._closed = False
+        self._seq = itertools.count()
+        self._heap: list[tuple[int, int, str]] = []  # (-priority, seq, job_id)
+        self._records: dict[str, JobRecord] = {}
+        self._queued: set[str] = set()
+        self._running: set[str] = set()
+        self._primaries: dict[str, str] = {}  # store key -> primary job id
+        self._followers: dict[str, list[str]] = {}  # primary id -> follower ids
+        self._finished: collections.deque[str] = collections.deque()
+        self._cond = asyncio.Condition()
+
+    # -- gauges ------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Queued primary executions (the admission-controlled quantity)."""
+        return len(self._queued)
+
+    @property
+    def in_flight(self) -> int:
+        """Primary executions currently dispatched to the scheduler."""
+        return len(self._running)
+
+    @property
+    def idle(self) -> bool:
+        """Whether no accepted work remains queued or running."""
+        return not self._queued and not self._running
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(
+        self, request: JobRequest, key: str
+    ) -> tuple[JobRecord, bool]:
+        """Admit one request; returns ``(record, coalesced)``.
+
+        Raises :class:`ServiceOverloadedError` when draining or when the
+        queue is at ``max_depth`` and the request cannot coalesce.
+        """
+        async with self._cond:
+            if self.draining or self._closed:
+                self.metrics.rejected += 1
+                raise ServiceOverloadedError(
+                    "service is draining; resubmit to the next instance"
+                )
+            primary_id = self._primaries.get(key)
+            if primary_id is not None:
+                primary = self._records[primary_id]
+                record = JobRecord(
+                    request=request,
+                    key=key,
+                    state=primary.state,
+                    coalesced_into=primary_id,
+                    served_from="coalesced",
+                )
+                self._records[record.job_id] = record
+                self._followers.setdefault(primary_id, []).append(record.job_id)
+                self.metrics.coalesced += 1
+                return record, True
+            if self.depth >= self.max_depth:
+                self.metrics.rejected += 1
+                raise ServiceOverloadedError(
+                    f"queue is full ({self.depth}/{self.max_depth} jobs); "
+                    f"retry after a backoff"
+                )
+            record = JobRecord(request=request, key=key)
+            self._records[record.job_id] = record
+            self._primaries[key] = record.job_id
+            self._queued.add(record.job_id)
+            heapq.heappush(
+                self._heap, (-request.priority, next(self._seq), record.job_id)
+            )
+            self.metrics.accepted += 1
+            self._cond.notify_all()
+            return record, False
+
+    # -- scheduling --------------------------------------------------------
+
+    async def next_batch(
+        self, max_batch: int | None = None, window: float = 0.0
+    ) -> list[JobRecord]:
+        """Block until work is available; pop up to ``max_batch`` primaries.
+
+        ``window`` sleeps briefly after the first job arrives so a burst of
+        concurrent submissions lands in one resource-grouped batch instead
+        of n single-job dispatches.  Returns ``[]`` only once the queue has
+        been closed and emptied — the scheduler's shutdown signal.
+        """
+        async with self._cond:
+            while not self._heap and not self._closed:
+                await self._cond.wait()
+            if not self._heap:
+                return []
+        if window > 0:
+            await asyncio.sleep(window)
+        async with self._cond:
+            batch: list[JobRecord] = []
+            while self._heap and (max_batch is None or len(batch) < max_batch):
+                _, _, job_id = heapq.heappop(self._heap)
+                if job_id not in self._queued:
+                    continue  # stale heap entry (requeued under a new one)
+                record = self._records[job_id]
+                self._queued.discard(job_id)
+                self._running.add(job_id)
+                record.attempts += 1
+                self._transition(record, "running")
+                if record.started_at is None:
+                    record.started_at = time.time()
+                batch.append(record)
+            return batch
+
+    # -- completion --------------------------------------------------------
+
+    def _transition(self, record: JobRecord, state: str) -> None:
+        """Move a primary (and its followers) to ``state``; fan out results."""
+        record.state = state
+        for follower_id in self._followers.get(record.job_id, ()):
+            follower = self._records.get(follower_id)
+            if follower is None:
+                continue
+            follower.state = state
+            follower.attempts = record.attempts
+            if state in ("done", "failed"):
+                follower.result = record.result
+                follower.error = record.error
+                follower.finished_at = time.time()
+                self._retire(follower)
+
+    def _retire(self, record: JobRecord) -> None:
+        """Bookkeeping shared by every terminal transition."""
+        self._finished.append(record.job_id)
+        if record.state == "done":
+            self.metrics.completed += 1
+        else:
+            self.metrics.failed += 1
+        if record.latency is not None:
+            self.metrics.observe_latency(record.latency)
+        while len(self._finished) > self.retain_finished:
+            stale = self._finished.popleft()
+            self._records.pop(stale, None)
+
+    async def complete(
+        self, record: JobRecord, result: dict[str, Any], served_from: str
+    ) -> None:
+        """Mark a primary done with its serialized result; wake drain waiters."""
+        async with self._cond:
+            record.result = result
+            record.error = None
+            record.finished_at = time.time()
+            record.served_from = served_from
+            self._running.discard(record.job_id)
+            self._queued.discard(record.job_id)
+            if self._primaries.get(record.key) == record.job_id:
+                del self._primaries[record.key]
+            self._transition(record, "done")
+            self._retire(record)
+            self._cond.notify_all()
+
+    async def fail(self, record: JobRecord, error: str) -> None:
+        """Mark a primary failed (after its retry budget); wake drain waiters."""
+        async with self._cond:
+            record.error = error
+            record.finished_at = time.time()
+            self._running.discard(record.job_id)
+            self._queued.discard(record.job_id)
+            if self._primaries.get(record.key) == record.job_id:
+                del self._primaries[record.key]
+            self._transition(record, "failed")
+            self._retire(record)
+            self._cond.notify_all()
+
+    async def requeue(self, record: JobRecord) -> None:
+        """Push a failed attempt back for another try (retry path)."""
+        async with self._cond:
+            self._running.discard(record.job_id)
+            self._queued.add(record.job_id)
+            self._transition(record, "queued")
+            heapq.heappush(
+                self._heap,
+                (-record.request.priority, next(self._seq), record.job_id),
+            )
+            self.metrics.retries += 1
+            self._cond.notify_all()
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        """The record for ``job_id``; :class:`JobNotFoundError` if unknown."""
+        record = self._records.get(job_id)
+        if record is None:
+            raise JobNotFoundError(f"unknown job {job_id!r}")
+        return record
+
+    # -- drain / shutdown --------------------------------------------------
+
+    async def drain(self) -> None:
+        """Reject new submissions and wait until accepted work finishes."""
+        async with self._cond:
+            self.draining = True
+            while not self.idle:
+                await self._cond.wait()
+
+    async def close(self) -> None:
+        """Wake blocked :meth:`next_batch` callers so they can exit."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -19,7 +19,7 @@ from repro.store.keys import (
     resources_key,
     run_result_key,
 )
-from repro.store.pool import TaskOutcome, run_tasks
+from repro.store.pool import TaskOutcome, backoff_delays, run_tasks
 from repro.store.prewarm import PrewarmJob, PrewarmReport, prewarm, prewarm_jobs
 from repro.store.serialize import SerializationError
 from repro.store.store import (
@@ -38,6 +38,7 @@ __all__ = [
     "StoreEntry",
     "StoreStats",
     "TaskOutcome",
+    "backoff_delays",
     "hypergraph_content_hash",
     "prewarm",
     "prewarm_jobs",

@@ -23,13 +23,42 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import random
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
-__all__ = ["TaskOutcome", "run_tasks"]
+__all__ = ["TaskOutcome", "backoff_delays", "run_tasks"]
+
+#: Default jitter fraction: each retry sleep is stretched by up to 25%.
+DEFAULT_JITTER = 0.25
+
+
+def backoff_delays(
+    retries: int,
+    backoff: float,
+    jitter: float = DEFAULT_JITTER,
+    seed: int | None = None,
+) -> list[float]:
+    """The full retry sleep schedule: jittered exponential backoff.
+
+    Attempt ``i`` (1-based) sleeps ``backoff * 2**(i-1) * (1 + jitter*u_i)``
+    with ``u_i`` drawn from ``random.Random(seed)`` — *deterministic* given
+    the seed, so tests can pin the exact schedule, yet different seeds
+    (``seed=None`` derives one from the pid) desynchronize concurrent
+    clients retrying against shared resources: without jitter every client
+    of a wedged store/service sleeps in lockstep and stampedes back at the
+    same instant (a thundering herd).
+    """
+    if retries <= 0 or backoff <= 0:
+        return [0.0] * max(0, retries)
+    rng = random.Random(os.getpid() if seed is None else seed)
+    return [
+        backoff * 2 ** attempt * (1.0 + max(0.0, jitter) * rng.random())
+        for attempt in range(retries)
+    ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -141,13 +170,18 @@ def run_tasks(
     retries: int = 1,
     backoff: float = 0.5,
     inline_fallback: bool = True,
+    jitter: float = DEFAULT_JITTER,
+    jitter_seed: int | None = None,
 ) -> list[TaskOutcome]:
     """Map ``fn`` over ``payloads`` in worker processes; outcomes in order.
 
     ``workers=None`` picks ``min(len(payloads), cpu_count)``; ``workers<=1``
     (or a single payload) runs everything inline.  Tasks whose worker
     crashed, raised, or exceeded ``timeout`` are retried in a fresh pool up
-    to ``retries`` times with exponential ``backoff``; whatever still fails
+    to ``retries`` times with exponential ``backoff``, jittered by up to a
+    ``jitter`` fraction per sleep (see :func:`backoff_delays`;
+    ``jitter_seed`` pins the schedule, ``None`` derives it from the pid so
+    concurrent clients retry out of lockstep); whatever still fails
     then runs inline in the calling process when ``inline_fallback`` is
     set (exceptions propagate from there), else is reported via
     :attr:`TaskOutcome.errors` with ``value=None``.
@@ -160,9 +194,10 @@ def run_tasks(
     errors: dict[int, list[str]] = {index: [] for index in range(len(payloads))}
     pending = list(range(len(payloads)))
     if workers > 1 and len(payloads) > 1:
+        delays = backoff_delays(max(0, retries), backoff, jitter, jitter_seed)
         for attempt in range(1 + max(0, retries)):
             if attempt and backoff:
-                time.sleep(backoff * 2 ** (attempt - 1))
+                time.sleep(delays[attempt - 1])
             pending = _pool_attempt(
                 fn, payloads, pending, workers, timeout,
                 outcomes, attempts, errors,

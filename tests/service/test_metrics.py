@@ -1,0 +1,69 @@
+"""ServiceMetrics: percentiles, hit ratio, snapshot shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import ServiceMetrics
+
+
+class TestPercentiles:
+    def test_empty_is_zero(self):
+        assert ServiceMetrics().percentile(95) == 0.0
+
+    def test_nearest_rank(self):
+        metrics = ServiceMetrics()
+        for v in [0.1, 0.2, 0.3, 0.4, 1.0]:
+            metrics.observe_latency(v)
+        assert metrics.percentile(50) == 0.3
+        assert metrics.percentile(95) == 1.0
+        assert metrics.percentile(99) == 1.0
+
+    def test_order_independent(self):
+        a, b = ServiceMetrics(), ServiceMetrics()
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for v in values:
+            a.observe_latency(v)
+        for v in sorted(values):
+            b.observe_latency(v)
+        assert a.percentile(50) == b.percentile(50) == 3.0
+
+    def test_ring_is_bounded(self):
+        metrics = ServiceMetrics(max_latencies=4)
+        for v in [100.0, 1.0, 1.0, 1.0, 1.0]:
+            metrics.observe_latency(v)
+        # The old outlier fell out of the ring.
+        assert metrics.percentile(99) == 1.0
+
+
+class TestStoreHitRatio:
+    def test_no_traffic_is_zero(self):
+        assert ServiceMetrics().store_hit_ratio == 0.0
+
+    def test_ratio(self):
+        metrics = ServiceMetrics()
+        metrics.store_hits, metrics.computed = 3, 1
+        assert metrics.store_hit_ratio == pytest.approx(0.75)
+
+
+class TestSnapshot:
+    def test_shape_and_json(self):
+        metrics = ServiceMetrics()
+        metrics.submitted = 8
+        metrics.accepted = 1
+        metrics.coalesced = 7
+        metrics.observe_latency(0.5)
+        snap = metrics.snapshot(queue_depth=2, in_flight=1)
+        assert snap["queue_depth"] == 2
+        assert snap["in_flight"] == 1
+        assert snap["coalesced"] == 7
+        assert snap["latency"]["count"] == 1
+        assert snap["latency"]["p50"] == 0.5
+        json.dumps(snap)  # must be servable as-is
+
+    def test_render_line_mentions_gauges(self):
+        line = ServiceMetrics().render_line(queue_depth=3, in_flight=2)
+        assert "depth=3" in line
+        assert "inflight=2" in line

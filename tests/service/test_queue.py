@@ -1,0 +1,231 @@
+"""JobQueue: coalescing, admission control, priority, retry, drain.
+
+Pure event-loop unit tests — no HTTP, no simulations: results are stub
+dicts, which is all the queue ever sees.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import JobNotFoundError, ServiceOverloadedError
+from repro.service import JobQueue
+from tests.service.conftest import small_request
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_identical_submits_share_one_execution(self):
+        async def body():
+            queue = JobQueue()
+            primary, coalesced = await queue.submit(small_request(), "k1")
+            assert not coalesced
+            followers = [
+                (await queue.submit(small_request(), "k1"))[0]
+                for _ in range(7)
+            ]
+            assert all(f.coalesced_into == primary.job_id for f in followers)
+            assert queue.depth == 1  # one execution, not eight
+            assert queue.metrics.accepted == 1
+            assert queue.metrics.coalesced == 7
+
+            (popped,) = await queue.next_batch()
+            assert popped is primary
+            # Coalescing covers *running* jobs too: a submit that races the
+            # execution still attaches instead of re-simulating.
+            late, late_coalesced = await queue.submit(small_request(), "k1")
+            assert late_coalesced
+            assert late.state == "running"
+
+            await queue.complete(primary, {"cycles": 42}, "worker")
+            for record in [*followers, late]:
+                assert record.state == "done"
+                assert record.result == {"cycles": 42}
+            assert queue.metrics.completed == 9  # primary + 8 followers
+            return True
+
+        assert run(body())
+
+    def test_completion_frees_the_key(self):
+        async def body():
+            queue = JobQueue()
+            primary, _ = await queue.submit(small_request(), "k1")
+            await queue.next_batch()
+            await queue.complete(primary, {}, "worker")
+            record, coalesced = await queue.submit(small_request(), "k1")
+            assert not coalesced  # a finished key starts a fresh execution
+            assert record.job_id != primary.job_id
+            return True
+
+        assert run(body())
+
+    def test_failure_fans_out_to_followers(self):
+        async def body():
+            queue = JobQueue()
+            primary, _ = await queue.submit(small_request(), "k1")
+            follower, _ = await queue.submit(small_request(), "k1")
+            await queue.next_batch()
+            await queue.fail(primary, "boom")
+            assert follower.state == "failed"
+            assert follower.error == "boom"
+            assert queue.metrics.failed == 2
+            return True
+
+        assert run(body())
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_new_keys_but_coalesces(self):
+        async def body():
+            queue = JobQueue(max_depth=1)
+            await queue.submit(small_request(), "k1")
+            with pytest.raises(ServiceOverloadedError):
+                await queue.submit(small_request(dataset="WP"), "k2")
+            assert queue.metrics.rejected == 1
+            # Coalescing submits add no work: always admitted.
+            _, coalesced = await queue.submit(small_request(), "k1")
+            assert coalesced
+            return True
+
+        assert run(body())
+
+    def test_dispatch_frees_admission_slots(self):
+        async def body():
+            queue = JobQueue(max_depth=1)
+            primary, _ = await queue.submit(small_request(), "k1")
+            await queue.next_batch()  # k1 now running, not queued
+            record, coalesced = await queue.submit(small_request(dataset="WP"), "k2")
+            assert not coalesced  # in-flight work does not count against depth
+            assert queue.depth == 1
+            assert queue.in_flight == 1
+            await queue.complete(primary, {}, "worker")
+            await queue.complete((await queue.next_batch())[0], {}, "worker")
+            return True
+
+        assert run(body())
+
+    def test_overload_error_is_retryable(self):
+        assert ServiceOverloadedError.retryable
+        assert ServiceOverloadedError.exit_code == 75
+
+
+class TestPriority:
+    def test_higher_priority_pops_first(self):
+        async def body():
+            queue = JobQueue()
+            low, _ = await queue.submit(small_request(priority=0), "k-low")
+            high, _ = await queue.submit(small_request(priority=5), "k-high")
+            mid, _ = await queue.submit(small_request(priority=1), "k-mid")
+            batch = await queue.next_batch()
+            assert [r.job_id for r in batch] == \
+                [high.job_id, mid.job_id, low.job_id]
+            for record in batch:
+                await queue.complete(record, {}, "worker")
+            return True
+
+        assert run(body())
+
+    def test_fifo_within_a_priority(self):
+        async def body():
+            queue = JobQueue()
+            first, _ = await queue.submit(small_request(), "k1")
+            second, _ = await queue.submit(small_request(dataset="WP"), "k2")
+            batch = await queue.next_batch()
+            assert [r.job_id for r in batch] == [first.job_id, second.job_id]
+            for record in batch:
+                await queue.complete(record, {}, "worker")
+            return True
+
+        assert run(body())
+
+    def test_max_batch_caps_the_pop(self):
+        async def body():
+            queue = JobQueue()
+            for i in range(5):
+                await queue.submit(small_request(priority=i), f"k{i}")
+            batch = await queue.next_batch(max_batch=2)
+            assert len(batch) == 2
+            assert queue.depth == 3
+            return True
+
+        assert run(body())
+
+
+class TestRetry:
+    def test_requeue_redispatches_with_attempt_count(self):
+        async def body():
+            queue = JobQueue()
+            record, _ = await queue.submit(small_request(), "k1")
+            (popped,) = await queue.next_batch()
+            assert popped.attempts == 1
+            await queue.requeue(popped)
+            assert popped.state == "queued"
+            (again,) = await queue.next_batch()
+            assert again is record
+            assert again.attempts == 2
+            assert queue.metrics.retries == 1
+            await queue.complete(again, {}, "worker")
+            return True
+
+        assert run(body())
+
+
+class TestLookupAndRetention:
+    def test_unknown_job_raises(self):
+        queue = JobQueue()
+        with pytest.raises(JobNotFoundError):
+            queue.get("job-404-deadbeef")
+        assert JobNotFoundError.exit_code == 66
+
+    def test_finished_records_evict_oldest_first(self):
+        async def body():
+            queue = JobQueue(retain_finished=2)
+            records = []
+            for i in range(3):
+                record, _ = await queue.submit(small_request(), f"k{i}")
+                records.append(record)
+            batch = await queue.next_batch()
+            for record in batch:
+                await queue.complete(record, {}, "worker")
+            with pytest.raises(JobNotFoundError):
+                queue.get(records[0].job_id)
+            assert queue.get(records[2].job_id).state == "done"
+            return True
+
+        assert run(body())
+
+
+class TestDrainAndClose:
+    def test_drain_rejects_then_waits_for_inflight(self):
+        async def body():
+            queue = JobQueue()
+            primary, _ = await queue.submit(small_request(), "k1")
+            await queue.next_batch()
+            drain = asyncio.create_task(queue.drain())
+            await asyncio.sleep(0)  # let drain() flip the flag
+            assert queue.draining
+            with pytest.raises(ServiceOverloadedError):
+                await queue.submit(small_request(dataset="WP"), "k2")
+            assert not drain.done()  # still waiting on the in-flight job
+            await queue.complete(primary, {"cycles": 1}, "worker")
+            await asyncio.wait_for(drain, timeout=5)
+            assert primary.state == "done"  # accepted work was not lost
+            return True
+
+        assert run(body())
+
+    def test_close_unblocks_next_batch_with_empty(self):
+        async def body():
+            queue = JobQueue()
+            waiter = asyncio.create_task(queue.next_batch())
+            await asyncio.sleep(0)
+            await queue.close()
+            assert await asyncio.wait_for(waiter, timeout=5) == []
+            return True
+
+        assert run(body())

@@ -17,6 +17,7 @@ MODULES = [
     "repro.hypergraph",
     "repro.sim",
     "repro.store",
+    "repro.service",
     "repro.cli",
 ]
 
