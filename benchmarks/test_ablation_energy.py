@@ -33,7 +33,7 @@ def _measure():
             rows.append([
                 dataset,
                 name,
-                report.dram_nj,
+                report.dram_total_nj,
                 report.total_nj,
                 report.memory_fraction,
             ])

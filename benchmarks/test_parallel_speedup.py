@@ -11,10 +11,10 @@ process-level parallelism cannot pay for itself.
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
+from repro.benchmark.measure import timed
 from repro.harness import experiments as registry
 from repro.harness.parallel import execute_runs, plan_shards
 from repro.harness.report import render_table
@@ -53,16 +53,16 @@ def test_parallel_cold_run_speedup(benchmark, emit, tmp_path):
     parallel_dir = tmp_path / "parallel"
 
     def measure():
-        start = time.perf_counter()
-        serial_report = execute_runs(specs, cache_dir=serial_dir, jobs=1)
-        serial_s = time.perf_counter() - start
+        serial_report, serial_s = timed(
+            lambda: execute_runs(specs, cache_dir=serial_dir, jobs=1)
+        )
         assert serial_report.ok and not serial_report.parallel
 
-        start = time.perf_counter()
-        parallel_report = execute_runs(
-            specs, cache_dir=parallel_dir, jobs=JOBS, timeout=600
+        parallel_report, parallel_s = timed(
+            lambda: execute_runs(
+                specs, cache_dir=parallel_dir, jobs=JOBS, timeout=600
+            )
         )
-        parallel_s = time.perf_counter() - start
         assert parallel_report.ok and parallel_report.parallel
 
         # Byte-identical tables from the two stores' warm hits.

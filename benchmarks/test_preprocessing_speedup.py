@@ -9,10 +9,9 @@ parity-tested in ``tests/core/test_fast_parity.py``).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.benchmark.measure import timed
 from repro.core.chain import ChainGenerator
 from repro.core.oag import build_oag
 from repro.hypergraph.generators import paper_dataset
@@ -20,21 +19,15 @@ from repro.hypergraph.generators import paper_dataset
 MIN_SPEEDUP = 5.0
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
-
-
 def test_preprocessing_speedup(benchmark, emit):
     hypergraph = paper_dataset("OK")
     assert hypergraph.num_hyperedges >= 2000
 
     def measure():
-        scalar_oag, scalar_s = _timed(
+        scalar_oag, scalar_s = timed(
             lambda: build_oag(hypergraph, "hyperedge", fast=False)
         )
-        fast_oag, fast_s = _timed(
+        fast_oag, fast_s = timed(
             lambda: build_oag(hypergraph, "hyperedge", fast=True)
         )
         assert np.array_equal(scalar_oag.csr.offsets, fast_oag.csr.offsets)
@@ -43,10 +36,10 @@ def test_preprocessing_speedup(benchmark, emit):
         assert scalar_oag.build_operations == fast_oag.build_operations
 
         active = np.ones(fast_oag.num_nodes, dtype=bool)
-        scalar_chains, chain_scalar_s = _timed(
+        scalar_chains, chain_scalar_s = timed(
             lambda: ChainGenerator(fast=False).generate(active, fast_oag)
         )
-        fast_chains, chain_fast_s = _timed(
+        fast_chains, chain_fast_s = timed(
             lambda: ChainGenerator(fast=True).generate(active, fast_oag)
         )
         assert scalar_chains.chains == fast_chains.chains

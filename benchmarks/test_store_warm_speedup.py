@@ -8,10 +8,9 @@ and a corrupted on-disk entry degrades to a rebuild rather than a crash.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.benchmark.measure import timed
 from repro.engine import GlaResources
 from repro.hypergraph.generators import paper_dataset
 from repro.store import ArtifactStore, hypergraph_content_hash, resources_key
@@ -20,22 +19,16 @@ MIN_SPEEDUP = 5.0
 NUM_CORES = 16
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
-
-
 def test_store_warm_speedup(benchmark, emit, tmp_path):
     hypergraph = paper_dataset("OK")
     store = ArtifactStore(tmp_path)
 
     def measure():
-        cold, cold_s = _timed(
+        cold, cold_s = timed(
             lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
         )
         assert store.stats.writes == 1  # cold pass populated the store
-        warm, warm_s = _timed(
+        warm, warm_s = timed(
             lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
         )
         assert store.stats.hits == 1
@@ -58,7 +51,7 @@ def test_store_warm_speedup(benchmark, emit, tmp_path):
         )
         path = store._payload_path("resources", key)
         path.write_bytes(path.read_bytes()[:64])
-        rebuilt, rebuild_s = _timed(
+        rebuilt, rebuild_s = timed(
             lambda: GlaResources.build_or_load(hypergraph, NUM_CORES, store=store)
         )
         assert store.stats.corruptions == 1

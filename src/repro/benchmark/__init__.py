@@ -1,0 +1,64 @@
+"""Continuous benchmark-regression subsystem.
+
+A declarative registry of timed *probes* over the repo's real hot paths
+(:mod:`repro.benchmark.probes`), a measurement core with warmup,
+min-of-k repetitions and bootstrap confidence intervals
+(:mod:`repro.benchmark.measure`), schema-versioned ``BENCH_<host>.json``
+artifacts written with the store's atomic tmp+rename + sha256-manifest
+discipline (:mod:`repro.benchmark.artifact`), and noise-aware
+baseline comparison/gating (:mod:`repro.benchmark.compare`) rendered as a
+trend table (:mod:`repro.benchmark.trend`).
+
+Driven by the CLI verbs ``repro benchmark run|compare|gate|baseline`` and
+the ``benchmark-smoke`` CI job; the committed per-host baselines live in
+``benchmarks/baselines/``.
+"""
+
+from repro.benchmark.artifact import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    host_class,
+    load_report,
+    report_filename,
+    scale_report,
+    write_report,
+)
+from repro.benchmark.compare import (
+    DEFAULT_GATE_THRESHOLD,
+    ProbeComparison,
+    compare_reports,
+    gate_failures,
+)
+from repro.benchmark.measure import Measurement, bootstrap_ci, measure_probe, timed
+from repro.benchmark.registry import (
+    BenchProbe,
+    bench,
+    get_probe,
+    load_default_probes,
+    probe_names,
+)
+from repro.benchmark.trend import trend_table
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchProbe",
+    "DEFAULT_GATE_THRESHOLD",
+    "Measurement",
+    "ProbeComparison",
+    "bench",
+    "bootstrap_ci",
+    "build_report",
+    "compare_reports",
+    "gate_failures",
+    "get_probe",
+    "host_class",
+    "load_default_probes",
+    "load_report",
+    "measure_probe",
+    "probe_names",
+    "report_filename",
+    "scale_report",
+    "timed",
+    "trend_table",
+    "write_report",
+]

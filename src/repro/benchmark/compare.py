@@ -1,0 +1,132 @@
+"""Noise-aware comparison of a current bench report against a baseline.
+
+A probe is a **regression** only when both hold:
+
+1. its min-of-k time exceeds the baseline's by more than the threshold
+   (default +50%: generous enough for shared CI runners, far below the
+   2x the smoke job injects), and
+2. the bootstrap confidence intervals are disjoint — the current lower
+   bound clears the baseline upper bound — so plain repetition noise
+   cannot trip the gate.
+
+A probe present in the baseline but missing from the current run also
+fails the gate: silently dropping a probe is how coverage regresses.
+New probes (in current only) are reported but never gated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "DEFAULT_GATE_THRESHOLD",
+    "ProbeComparison",
+    "compare_reports",
+    "gate_failures",
+]
+
+#: Fail a probe past +50% over baseline (ratio > 1.5), CI-permitting.
+DEFAULT_GATE_THRESHOLD = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class ProbeComparison:
+    """Verdict for one probe across the two reports."""
+
+    name: str
+    baseline_best_s: float | None
+    current_best_s: float | None
+    ratio: float | None  # current / baseline; > 1 means slower
+    regression: bool
+    verdict: str  # "ok" | "regression" | "noise" | "missing" | "new"
+
+    @property
+    def gated(self) -> bool:
+        return self.regression
+
+
+def _compare_probe(
+    name: str,
+    baseline: dict[str, object] | None,
+    current: dict[str, object] | None,
+    threshold: float,
+) -> ProbeComparison:
+    if baseline is None:
+        return ProbeComparison(
+            name=name,
+            baseline_best_s=None,
+            current_best_s=float(current["best_s"]),
+            ratio=None,
+            regression=False,
+            verdict="new",
+        )
+    if current is None:
+        return ProbeComparison(
+            name=name,
+            baseline_best_s=float(baseline["best_s"]),
+            current_best_s=None,
+            ratio=None,
+            regression=True,
+            verdict="missing",
+        )
+    baseline_best = float(baseline["best_s"])
+    current_best = float(current["best_s"])
+    if baseline_best <= 0:
+        raise BenchmarkError(f"baseline probe {name!r} has non-positive time")
+    ratio = current_best / baseline_best
+    slowed = ratio > 1.0 + threshold
+    # Noise guard: only a *separated* pair of intervals may gate.
+    separated = float(current["ci_lower_s"]) > float(baseline["ci_upper_s"])
+    if slowed and separated:
+        verdict = "regression"
+    elif slowed:
+        verdict = "noise"
+    else:
+        verdict = "ok"
+    return ProbeComparison(
+        name=name,
+        baseline_best_s=baseline_best,
+        current_best_s=current_best,
+        ratio=ratio,
+        regression=verdict == "regression",
+        verdict=verdict,
+    )
+
+
+def compare_reports(
+    current: dict[str, object],
+    baseline: dict[str, object],
+    threshold: float = DEFAULT_GATE_THRESHOLD,
+) -> list[ProbeComparison]:
+    """Per-probe comparisons, baseline order first, new probes last."""
+    if threshold <= 0:
+        raise BenchmarkError("gate threshold must be positive")
+    if current.get("host_class") != baseline.get("host_class"):
+        raise BenchmarkError(
+            "host-class mismatch: current "
+            f"{current.get('host_class')!r} vs baseline "
+            f"{baseline.get('host_class')!r} — absolute timings are only "
+            "comparable within one host class"
+        )
+    baseline_probes: dict = baseline["probes"]  # type: ignore[assignment]
+    current_probes: dict = current["probes"]  # type: ignore[assignment]
+    names = list(baseline_probes)
+    names += [n for n in current_probes if n not in baseline_probes]
+    return [
+        _compare_probe(
+            name,
+            baseline_probes.get(name),
+            current_probes.get(name),
+            threshold,
+        )
+        for name in names
+    ]
+
+
+def gate_failures(
+    comparisons: list[ProbeComparison],
+) -> list[ProbeComparison]:
+    """The subset of comparisons that must fail the gate."""
+    return [c for c in comparisons if c.gated]

@@ -1,0 +1,98 @@
+"""The declarative benchmark-probe registry.
+
+A *probe* names one hot path and knows how to produce a zero-argument
+timed thunk for it.  The factory runs **outside** the timed region — it
+builds datasets, prewarms stores, boots services — and returns either the
+thunk alone or ``(thunk, cleanup)`` when the setup holds resources
+(temp directories, a live service) that must be torn down after
+measurement.
+
+Probes register themselves with the :func:`bench` decorator at import
+time; :func:`load_default_probes` imports the built-in suite
+(:mod:`repro.benchmark.probes`) exactly once, so the registry is cheap to
+consult and tests can install synthetic probes without paying for the
+real ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import BenchmarkError
+
+__all__ = [
+    "BenchProbe",
+    "PROBE_REGISTRY",
+    "bench",
+    "get_probe",
+    "load_default_probes",
+    "probe_names",
+]
+
+#: A factory returns the timed thunk, optionally paired with a cleanup.
+ProbeSetup = Callable[[], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchProbe:
+    """One registered hot-path probe."""
+
+    name: str
+    description: str
+    factory: ProbeSetup
+
+    def setup(self) -> tuple[Callable[[], object], Callable[[], None] | None]:
+        """Run the (untimed) setup; normalize to ``(thunk, cleanup)``."""
+        produced = self.factory()
+        if isinstance(produced, tuple):
+            thunk, cleanup = produced
+            return thunk, cleanup
+        return produced, None
+
+
+#: name -> probe, in registration order (dicts preserve it).
+PROBE_REGISTRY: dict[str, BenchProbe] = {}
+
+
+def bench(
+    name: str, description: str = ""
+) -> Callable[[ProbeSetup], ProbeSetup]:
+    """Register a probe factory under ``name``.
+
+    The decorated function is the *setup*: it is invoked once per
+    measurement session and must return the zero-argument thunk to time
+    (or ``(thunk, cleanup)``).
+    """
+
+    def register(factory: ProbeSetup) -> ProbeSetup:
+        if name in PROBE_REGISTRY:
+            raise BenchmarkError(f"duplicate benchmark probe {name!r}")
+        PROBE_REGISTRY[name] = BenchProbe(
+            name=name,
+            description=description or (factory.__doc__ or "").strip(),
+            factory=factory,
+        )
+        return factory
+
+    return register
+
+
+def load_default_probes() -> None:
+    """Import the built-in probe suite (idempotent)."""
+    import repro.benchmark.probes  # noqa: F401  (registers via @bench)
+
+
+def probe_names() -> tuple[str, ...]:
+    """Registered probe names, in registration order."""
+    return tuple(PROBE_REGISTRY)
+
+
+def get_probe(name: str) -> BenchProbe:
+    try:
+        return PROBE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(PROBE_REGISTRY) or "<none loaded>"
+        raise BenchmarkError(
+            f"unknown benchmark probe {name!r} (known: {known})"
+        ) from None

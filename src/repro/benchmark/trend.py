@@ -1,0 +1,52 @@
+"""Trend-table rendering for measurements and comparisons."""
+
+from __future__ import annotations
+
+from repro.benchmark.compare import ProbeComparison
+from repro.benchmark.measure import Measurement
+from repro.harness.report import render_table
+
+__all__ = ["measurements_table", "trend_table"]
+
+
+def _ms(seconds: float | None) -> object:
+    return "-" if seconds is None else round(seconds * 1e3, 3)
+
+
+def measurements_table(
+    measurements: list[Measurement], host: str, repeats: int
+) -> str:
+    """The ``benchmark run`` summary table."""
+    rows = [
+        [
+            m.name,
+            _ms(m.best_s),
+            _ms(m.mean_s),
+            f"[{_ms(m.ci_lower_s)}, {_ms(m.ci_upper_s)}]",
+            len(m.samples_s),
+        ]
+        for m in measurements
+    ]
+    return render_table(
+        ["probe", "best (ms)", "mean (ms)", "90% CI (ms)", "reps"],
+        rows,
+        title=f"Benchmark suite — {host}, min of {repeats}",
+    )
+
+
+def trend_table(comparisons: list[ProbeComparison], title: str) -> str:
+    """The ``benchmark compare``/``gate`` trend table."""
+    rows = []
+    for c in comparisons:
+        rows.append([
+            c.name,
+            _ms(c.baseline_best_s),
+            _ms(c.current_best_s),
+            "-" if c.ratio is None else round(c.ratio, 2),
+            c.verdict.upper() if c.gated else c.verdict,
+        ])
+    return render_table(
+        ["probe", "baseline (ms)", "current (ms)", "ratio", "verdict"],
+        rows,
+        title=title,
+    )

@@ -66,14 +66,18 @@ class ReuseProfile:
         """Hit rate of a fully-associative LRU cache of that capacity."""
         if self.accesses == 0:
             return 0.0
+        # Buckets are coarse (powers of two): bucket ``b`` covers distances
+        # [b, 2b), so it hits outright only when 2b <= capacity — i.e. the
+        # whole bucket lies below the capacity.  For a capacity inside a
+        # bucket the estimate is conservative (those accesses count as
+        # misses); the distance-0 bucket hits in any non-empty cache.  At
+        # power-of-two capacities the bound is exact.
         hits = sum(
             count
             for bucket, count in self.histogram.items()
-            if bucket < capacity_lines
+            if (bucket == 0 and capacity_lines >= 1)
+            or (bucket > 0 and bucket * 2 <= capacity_lines)
         )
-        # Buckets are coarse (powers of two): count a bucket as hitting only
-        # when it lies entirely below the capacity, making the estimate
-        # conservative for capacities inside a bucket.
         return hits / self.accesses
 
     def mean_distance(self) -> float:

@@ -93,9 +93,12 @@ class PhaseTimer:
         phase's demanded line count inflates every core's memory stalls by
         ``DramModel.contention_factor`` — utilisation is measured against
         the *uncontended* phase length — and the phase is floored at the
-        channel drain time for those lines.  With ``dram=None`` (or zero
-        lines, where the factor is exactly 1.0) the arithmetic below reduces
-        to the historical path, keeping default-config figures
+        channel drain time for those lines.  Cycles the floor adds beyond
+        the busiest core's contended time are pure waiting-for-memory and
+        are attributed to ``memory_stall_cycles`` (Figure 5's numerator)
+        on that core.  With ``dram=None`` (or zero lines, where the factor
+        is exactly 1.0 and the floor never binds) the arithmetic below
+        reduces to the historical path, keeping default-config figures
         bit-identical.
         """
         if self.num_cores == 0:
@@ -108,8 +111,15 @@ class PhaseTimer:
             self._contended_core_time(core, factor)
             for core in range(self.num_cores)
         )
+        drain_delta = 0.0
         if dram is not None:
-            phase = max(phase, dram.drain_cycles(dram_lines))
+            drain = dram.drain_cycles(dram_lines)
+            if drain > phase:
+                # The channel cannot drain the phase's lines any faster:
+                # every cycle of the floor beyond the busiest core's own
+                # time is a memory stall, not compute.
+                drain_delta = drain - phase
+                phase = drain
         phase += sync_overhead
         busiest = max(
             range(self.num_cores),
@@ -118,7 +128,7 @@ class PhaseTimer:
         self.breakdown.total_cycles += phase
         self.breakdown.compute_cycles += self._compute[busiest]
         self.breakdown.memory_stall_cycles += (
-            self._memory[busiest] * factor / self.config.mlp
+            self._memory[busiest] * factor / self.config.mlp + drain_delta
         )
         self.breakdown.engine_cycles += self._engine[busiest]
         self.breakdown.barriers += 1

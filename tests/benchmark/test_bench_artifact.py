@@ -1,0 +1,128 @@
+"""BENCH_*.json artifacts: atomic writes, manifests, schema checks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmark.artifact import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    host_class,
+    load_report,
+    report_filename,
+    scale_report,
+    write_report,
+)
+from repro.benchmark.measure import Measurement
+from repro.errors import BenchmarkError
+
+
+def _measurement(name: str = "probe", base: float = 0.1) -> Measurement:
+    return Measurement(
+        name=name,
+        description=f"the {name} probe",
+        samples_s=(base * 1.2, base, base * 1.1),
+        warmup_s=base,
+        ci_lower_s=base,
+        ci_upper_s=base * 1.1,
+    )
+
+
+def test_host_class_shape():
+    host = host_class()
+    assert host.count("-") >= 3
+    assert "py" in host
+    assert host.endswith("cpu")
+    assert report_filename() == f"BENCH_{host}.json"
+    assert report_filename("linux-x86_64-py3.11-8cpu") == (
+        "BENCH_linux-x86_64-py3.11-8cpu.json"
+    )
+
+
+def test_build_report_carries_schema_and_probes():
+    report = build_report([_measurement("a"), _measurement("b")], 3, 1)
+    assert report["schema"] == BENCH_SCHEMA_VERSION
+    assert report["kind"] == "bench-report"
+    assert report["host_class"] == host_class()
+    assert report["repeats"] == 3
+    assert report["warmup"] == 1
+    assert set(report["probes"]) == {"a", "b"}
+
+
+def test_write_then_load_round_trips(tmp_path):
+    report = build_report([_measurement()], 3, 1)
+    path = write_report(report, tmp_path)
+    assert path.name == report_filename()
+    assert path.with_name(path.name + ".manifest").exists()
+    loaded = load_report(path)
+    assert loaded == json.loads(json.dumps(report))
+
+
+def test_write_report_honors_explicit_filename(tmp_path):
+    report = build_report([_measurement()], 1, 0)
+    path = write_report(report, tmp_path, filename="custom.json")
+    assert path == tmp_path / "custom.json"
+    assert load_report(path)["probes"].keys() == {"probe"}
+
+
+def test_load_detects_manifest_checksum_mismatch(tmp_path):
+    path = write_report(build_report([_measurement()], 3, 1), tmp_path)
+    # Corrupt the payload without touching the manifest.
+    payload = json.loads(path.read_text())
+    payload["repeats"] = 999
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    with pytest.raises(BenchmarkError, match="checksum"):
+        load_report(path)
+    # Verification can be bypassed explicitly (hand-edited baselines).
+    assert load_report(path, verify=False)["repeats"] == 999
+
+
+def test_load_tolerates_missing_manifest(tmp_path):
+    path = write_report(build_report([_measurement()], 3, 1), tmp_path)
+    path.with_name(path.name + ".manifest").unlink()
+    assert load_report(path)["kind"] == "bench-report"
+
+
+def test_load_rejects_wrong_kind_and_schema(tmp_path):
+    not_bench = tmp_path / "other.json"
+    not_bench.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(BenchmarkError, match="not a bench report"):
+        load_report(not_bench)
+
+    future = build_report([_measurement()], 3, 1)
+    future["schema"] = BENCH_SCHEMA_VERSION + 1
+    path = tmp_path / "future.json"
+    path.write_text(json.dumps(future))
+    with pytest.raises(BenchmarkError, match="schema"):
+        load_report(path)
+
+
+def test_load_rejects_truncated_json(tmp_path):
+    path = write_report(build_report([_measurement()], 3, 1), tmp_path)
+    path.with_name(path.name + ".manifest").unlink()
+    path.write_bytes(path.read_bytes()[:40])
+    with pytest.raises(BenchmarkError, match="corrupt"):
+        load_report(path)
+
+
+def test_scale_report_scales_every_timing_field():
+    report = build_report([_measurement(base=0.2)], 3, 1)
+    scaled = scale_report(report, 0.5)
+    probe = scaled["probes"]["probe"]
+    original = report["probes"]["probe"]
+    for field in ("best_s", "mean_s", "ci_lower_s", "ci_upper_s"):
+        assert probe[field] == pytest.approx(original[field] * 0.5)
+    assert probe["samples_s"] == pytest.approx(
+        [s * 0.5 for s in original["samples_s"]]
+    )
+    # The original is untouched and non-timing fields survive.
+    assert report["probes"]["probe"]["best_s"] == original["best_s"]
+    assert scaled["host_class"] == report["host_class"]
+
+
+def test_scale_report_rejects_non_positive_factor():
+    report = build_report([_measurement()], 3, 1)
+    with pytest.raises(BenchmarkError):
+        scale_report(report, 0.0)

@@ -1,0 +1,124 @@
+"""Noise-aware comparison and gating logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.compare import (
+    DEFAULT_GATE_THRESHOLD,
+    compare_reports,
+    gate_failures,
+)
+from repro.errors import BenchmarkError
+
+HOST = "linux-x86_64-py3.11-8cpu"
+
+
+def _probe(best: float, lower: float | None = None, upper: float | None = None):
+    return {
+        "best_s": best,
+        "mean_s": best * 1.1,
+        "ci_lower_s": best if lower is None else lower,
+        "ci_upper_s": best * 1.05 if upper is None else upper,
+        "samples_s": [best, best * 1.1],
+        "warmup_s": best,
+        "description": "",
+    }
+
+
+def _report(probes: dict, host: str = HOST):
+    return {
+        "schema": 1,
+        "kind": "bench-report",
+        "host_class": host,
+        "repeats": 2,
+        "warmup": 1,
+        "probes": probes,
+    }
+
+
+def test_identical_reports_all_ok():
+    report = _report({"a": _probe(0.1), "b": _probe(0.2)})
+    comparisons = compare_reports(report, report)
+    assert [c.verdict for c in comparisons] == ["ok", "ok"]
+    assert gate_failures(comparisons) == []
+    assert all(c.ratio == pytest.approx(1.0) for c in comparisons)
+
+
+def test_injected_2x_slowdown_gates():
+    baseline = _report({"a": _probe(0.1, lower=0.1, upper=0.105)})
+    current = _report({"a": _probe(0.2, lower=0.2, upper=0.21)})
+    (comparison,) = compare_reports(baseline=baseline, current=current)
+    assert comparison.verdict == "regression"
+    assert comparison.ratio == pytest.approx(2.0)
+    assert gate_failures([comparison]) == [comparison]
+
+
+def test_slowdown_with_overlapping_cis_is_noise_not_regression():
+    # 2x over baseline, but the intervals overlap: repetition noise.
+    baseline = _report({"a": _probe(0.1, lower=0.08, upper=0.5)})
+    current = _report({"a": _probe(0.2, lower=0.15, upper=0.6)})
+    (comparison,) = compare_reports(baseline=baseline, current=current)
+    assert comparison.verdict == "noise"
+    assert not comparison.gated
+    assert gate_failures([comparison]) == []
+
+
+def test_slowdown_under_threshold_is_ok_even_when_separated():
+    baseline = _report({"a": _probe(0.1, lower=0.1, upper=0.101)})
+    current = _report({"a": _probe(0.13, lower=0.13, upper=0.131)})
+    (comparison,) = compare_reports(baseline=baseline, current=current)
+    assert comparison.verdict == "ok"
+
+
+def test_custom_threshold_tightens_the_gate():
+    baseline = _report({"a": _probe(0.1, lower=0.1, upper=0.101)})
+    current = _report({"a": _probe(0.13, lower=0.13, upper=0.131)})
+    (comparison,) = compare_reports(
+        baseline=baseline, current=current, threshold=0.2
+    )
+    assert comparison.verdict == "regression"
+
+
+def test_probe_missing_from_current_fails_the_gate():
+    baseline = _report({"a": _probe(0.1), "dropped": _probe(0.2)})
+    current = _report({"a": _probe(0.1)})
+    comparisons = compare_reports(baseline=baseline, current=current)
+    by_name = {c.name: c for c in comparisons}
+    assert by_name["dropped"].verdict == "missing"
+    assert by_name["dropped"].gated
+    assert gate_failures(comparisons) == [by_name["dropped"]]
+
+
+def test_new_probe_reported_but_never_gated():
+    baseline = _report({"a": _probe(0.1)})
+    current = _report({"a": _probe(0.1), "fresh": _probe(5.0)})
+    comparisons = compare_reports(baseline=baseline, current=current)
+    by_name = {c.name: c for c in comparisons}
+    assert by_name["fresh"].verdict == "new"
+    assert not by_name["fresh"].gated
+    assert comparisons[-1].name == "fresh"  # new probes sort last
+
+
+def test_host_class_mismatch_is_an_error():
+    baseline = _report({"a": _probe(0.1)}, host="linux-x86_64-py3.11-8cpu")
+    current = _report({"a": _probe(0.1)}, host="linux-x86_64-py3.11-1cpu")
+    with pytest.raises(BenchmarkError, match="host-class"):
+        compare_reports(baseline=baseline, current=current)
+
+
+def test_non_positive_baseline_time_is_an_error():
+    baseline = _report({"a": _probe(0.0)})
+    current = _report({"a": _probe(0.1)})
+    with pytest.raises(BenchmarkError, match="non-positive"):
+        compare_reports(baseline=baseline, current=current)
+
+
+def test_invalid_threshold_is_an_error():
+    report = _report({"a": _probe(0.1)})
+    with pytest.raises(BenchmarkError):
+        compare_reports(report, report, threshold=0.0)
+
+
+def test_default_threshold_is_fifty_percent():
+    assert DEFAULT_GATE_THRESHOLD == 0.5

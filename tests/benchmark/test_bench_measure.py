@@ -1,0 +1,123 @@
+"""The measurement core: timing, bootstrap CIs, probe lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.measure import (
+    Measurement,
+    bootstrap_ci,
+    measure_probe,
+    timed,
+)
+from repro.benchmark.registry import BenchProbe
+from repro.errors import BenchmarkError
+
+
+def test_timed_returns_result_and_nonnegative_elapsed():
+    result, elapsed = timed(lambda: "payload")
+    assert result == "payload"
+    assert elapsed >= 0.0
+
+
+def test_timed_propagates_exceptions():
+    with pytest.raises(ValueError):
+        timed(lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+
+def test_bootstrap_ci_is_deterministic():
+    samples = [0.5, 0.7, 0.6, 0.9, 0.4]
+    assert bootstrap_ci(samples) == bootstrap_ci(samples)
+    # Rendering a report twice from the same samples must agree exactly.
+    assert bootstrap_ci(samples, seed=7) == bootstrap_ci(samples, seed=7)
+
+
+def test_bootstrap_ci_brackets_the_statistic():
+    samples = [0.5, 0.7, 0.6, 0.9, 0.4]
+    lower, upper = bootstrap_ci(samples)
+    assert lower <= upper
+    # The min statistic over resamples can never leave the sample range.
+    assert min(samples) <= lower or lower <= min(samples) <= upper
+    assert upper <= max(samples)
+
+
+def test_bootstrap_ci_single_sample_degenerates():
+    assert bootstrap_ci([0.25]) == (0.25, 0.25)
+
+
+def test_bootstrap_ci_rejects_empty():
+    with pytest.raises(BenchmarkError):
+        bootstrap_ci([])
+
+
+def _counting_probe(counts: dict, cleanup_calls: list | None = None):
+    def factory():
+        counts["setups"] = counts.get("setups", 0) + 1
+
+        def thunk():
+            counts["calls"] = counts.get("calls", 0) + 1
+
+        if cleanup_calls is None:
+            return thunk
+        return thunk, lambda: cleanup_calls.append("done")
+
+    return BenchProbe(name="counting", description="counts", factory=factory)
+
+
+def test_measure_probe_runs_setup_once_and_warmup_plus_repeats():
+    counts: dict = {}
+    m = measure_probe(_counting_probe(counts), repeats=3, warmup=2)
+    assert counts == {"setups": 1, "calls": 5}
+    assert isinstance(m, Measurement)
+    assert len(m.samples_s) == 3
+    assert m.best_s == min(m.samples_s)
+    assert m.ci_lower_s <= m.best_s <= m.ci_upper_s
+
+
+def test_measure_probe_zero_warmup_records_zero_warmup_time():
+    counts: dict = {}
+    m = measure_probe(_counting_probe(counts), repeats=1, warmup=0)
+    assert counts == {"setups": 1, "calls": 1}
+    assert m.warmup_s == 0.0
+
+
+def test_measure_probe_rejects_zero_repeats():
+    with pytest.raises(BenchmarkError):
+        measure_probe(_counting_probe({}), repeats=0)
+
+
+def test_measure_probe_cleanup_runs_on_success_and_failure():
+    cleanups: list = []
+    measure_probe(_counting_probe({}, cleanups), repeats=2)
+    assert cleanups == ["done"]
+
+    failing = BenchProbe(
+        name="failing",
+        description="",
+        factory=lambda: (
+            lambda: (_ for _ in ()).throw(RuntimeError("rep died")),
+            lambda: cleanups.append("after-failure"),
+        ),
+    )
+    with pytest.raises(RuntimeError):
+        measure_probe(failing, repeats=1, warmup=0)
+    assert cleanups == ["done", "after-failure"]
+
+
+def test_measurement_as_json_round_trips_the_fields():
+    m = Measurement(
+        name="p",
+        description="d",
+        samples_s=(0.2, 0.1, 0.3),
+        warmup_s=0.05,
+        ci_lower_s=0.1,
+        ci_upper_s=0.2,
+    )
+    blob = m.as_json()
+    assert blob["best_s"] == 0.1
+    assert blob["mean_s"] == pytest.approx(0.2)
+    assert blob["samples_s"] == [0.2, 0.1, 0.3]
+    assert blob["warmup_s"] == 0.05
+    assert blob["ci_lower_s"] == 0.1
+    assert blob["ci_upper_s"] == 0.2
+    assert blob["description"] == "d"

@@ -1,0 +1,108 @@
+"""The probe registry: registration, lookup, setup normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.registry import (
+    PROBE_REGISTRY,
+    BenchProbe,
+    bench,
+    get_probe,
+    load_default_probes,
+    probe_names,
+)
+from repro.errors import BenchmarkError, ReproError
+
+
+@pytest.fixture
+def clean_registry(monkeypatch):
+    """An empty registry the test may populate freely."""
+    monkeypatch.setattr(
+        "repro.benchmark.registry.PROBE_REGISTRY", {}, raising=True
+    )
+    from repro.benchmark import registry
+
+    return registry.PROBE_REGISTRY
+
+
+def test_bench_registers_in_order(clean_registry):
+    @bench("b-probe", "second")
+    def _b():
+        return lambda: None
+
+    @bench("a-probe", "first")
+    def _a():
+        return lambda: None
+
+    assert probe_names() == ("b-probe", "a-probe")
+    assert get_probe("a-probe").description == "first"
+
+
+def test_duplicate_name_is_an_error(clean_registry):
+    @bench("dup")
+    def _one():
+        return lambda: None
+
+    with pytest.raises(BenchmarkError, match="duplicate"):
+
+        @bench("dup")
+        def _two():
+            return lambda: None
+
+
+def test_unknown_probe_names_the_known_ones(clean_registry):
+    @bench("known")
+    def _known():
+        return lambda: None
+
+    with pytest.raises(BenchmarkError, match="known"):
+        get_probe("missing")
+
+
+def test_description_falls_back_to_docstring(clean_registry):
+    @bench("documented")
+    def _documented():
+        """Docstring description."""
+        return lambda: None
+
+    assert get_probe("documented").description == "Docstring description."
+
+
+def test_setup_normalizes_bare_thunk():
+    thunk = lambda: 42  # noqa: E731
+    probe = BenchProbe(name="p", description="", factory=lambda: thunk)
+    got_thunk, cleanup = probe.setup()
+    assert got_thunk is thunk
+    assert cleanup is None
+
+
+def test_setup_passes_cleanup_through():
+    calls = []
+    probe = BenchProbe(
+        name="p",
+        description="",
+        factory=lambda: (lambda: 42, lambda: calls.append("cleanup")),
+    )
+    thunk, cleanup = probe.setup()
+    assert thunk() == 42
+    cleanup()
+    assert calls == ["cleanup"]
+
+
+def test_default_suite_registers_the_documented_probes():
+    load_default_probes()
+    expected = {
+        "oag-build-fast",
+        "chain-generation",
+        "store-warm-load",
+        "run-many-jobs2",
+        "serve-roundtrip",
+        "sim-inner-loop",
+    }
+    assert expected <= set(PROBE_REGISTRY)
+
+
+def test_benchmark_error_is_a_repro_error_with_data_exit_code():
+    assert issubclass(BenchmarkError, ReproError)
+    assert BenchmarkError.exit_code == 65

@@ -1,0 +1,164 @@
+"""End-to-end ``repro benchmark`` CLI flows over synthetic cheap probes.
+
+The real probe suite is minutes of simulation; these tests monkeypatch
+the registry with microsecond-scale probes so the full run → baseline →
+gate loop (including the injected-2x-regression drill the CI smoke job
+performs) is exercised in well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import benchmark
+from repro.benchmark.registry import BenchProbe
+from repro.cli import main
+from repro.errors import BenchmarkError
+
+
+@pytest.fixture
+def synthetic_suite(monkeypatch):
+    """Two trivial probes standing in for the real suite."""
+    registry = {
+        "fast-noop": BenchProbe(
+            name="fast-noop",
+            description="does nothing",
+            factory=lambda: (lambda: None),
+        ),
+        "fast-sum": BenchProbe(
+            name="fast-sum",
+            description="sums a small range",
+            factory=lambda: (lambda: sum(range(256))),
+        ),
+    }
+    monkeypatch.setattr(
+        "repro.benchmark.registry.PROBE_REGISTRY", registry, raising=True
+    )
+    # ``run`` would import the real probe module; keep it out of the way.
+    monkeypatch.setattr(benchmark, "load_default_probes", lambda: None)
+    return registry
+
+
+def _run(out_dir) -> str:
+    code = main([
+        "benchmark", "run", "--repeats", "3", "--warmup", "1",
+        "--out-dir", str(out_dir),
+    ])
+    assert code == 0
+    return str(out_dir / benchmark.report_filename())
+
+
+def test_run_emits_report_and_manifest(synthetic_suite, tmp_path, capsys):
+    path = _run(tmp_path)
+    out = capsys.readouterr().out
+    assert "Benchmark suite" in out
+    assert "fast-noop" in out and "fast-sum" in out
+
+    report = json.loads((tmp_path / benchmark.report_filename()).read_text())
+    assert report["schema"] == benchmark.BENCH_SCHEMA_VERSION
+    assert set(report["probes"]) == {"fast-noop", "fast-sum"}
+    for probe in report["probes"].values():
+        assert len(probe["samples_s"]) == 3
+        assert probe["ci_lower_s"] <= probe["best_s"] <= probe["ci_upper_s"]
+    assert (tmp_path / (benchmark.report_filename() + ".manifest")).exists()
+    assert path.endswith(".json")
+
+
+def test_probe_subset_selection(synthetic_suite, tmp_path):
+    assert main([
+        "benchmark", "run", "--repeats", "2", "--probes", "fast-sum",
+        "--out-dir", str(tmp_path),
+    ]) == 0
+    report = json.loads((tmp_path / benchmark.report_filename()).read_text())
+    assert set(report["probes"]) == {"fast-sum"}
+
+
+def test_unknown_probe_exits_with_data_error(synthetic_suite, tmp_path):
+    code = main([
+        "benchmark", "run", "--probes", "no-such-probe",
+        "--out-dir", str(tmp_path),
+    ])
+    assert code == BenchmarkError.exit_code
+
+
+def test_gate_passes_on_clean_rerun_and_fails_on_injected_2x(
+    synthetic_suite, tmp_path, capsys
+):
+    """The acceptance drill: same report gates clean; 0.5x baseline fails."""
+    current = _run(tmp_path / "run")
+
+    clean = tmp_path / "clean-baseline.json"
+    assert main([
+        "benchmark", "baseline", "--from", current, "--out", str(clean),
+    ]) == 0
+    assert main([
+        "benchmark", "gate", "--current", current, "--baseline", str(clean),
+    ]) == 0
+
+    slowed = tmp_path / "slowed-baseline.json"
+    assert main([
+        "benchmark", "baseline", "--from", current, "--out", str(slowed),
+        "--scale", "0.5",
+    ]) == 0
+    capsys.readouterr()
+    code = main([
+        "benchmark", "gate", "--current", current, "--baseline", str(slowed),
+    ])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "regression(s)" in captured.err
+
+
+def test_compare_reports_regressions_without_failing(
+    synthetic_suite, tmp_path, capsys
+):
+    current = _run(tmp_path / "run")
+    slowed = tmp_path / "slowed.json"
+    main([
+        "benchmark", "baseline", "--from", current, "--out", str(slowed),
+        "--scale", "0.5",
+    ])
+    capsys.readouterr()
+    assert main([
+        "benchmark", "compare", "--current", current,
+        "--baseline", str(slowed),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "would fail the gate" in captured.err
+
+
+def test_gate_without_baseline_is_a_data_error(
+    synthetic_suite, tmp_path, monkeypatch
+):
+    current = _run(tmp_path)
+    monkeypatch.chdir(tmp_path)  # no benchmarks/baselines/ here
+    code = main(["benchmark", "gate", "--current", current])
+    assert code == BenchmarkError.exit_code
+
+
+def test_gate_rejects_host_class_mismatch(synthetic_suite, tmp_path):
+    current = _run(tmp_path)
+    other = json.loads((tmp_path / benchmark.report_filename()).read_text())
+    other["host_class"] = "other-arch-py0.0-999cpu"
+    foreign = tmp_path / "foreign.json"
+    foreign.write_text(json.dumps(other))
+    code = main([
+        "benchmark", "gate", "--current", current, "--baseline", str(foreign),
+    ])
+    assert code == BenchmarkError.exit_code
+
+
+def test_committed_baseline_matches_this_host_when_present(synthetic_suite):
+    """If a baseline for this host class is committed, it must load clean."""
+    from repro.cli import _default_baseline_path
+
+    path = _default_baseline_path()
+    if not path.exists():
+        pytest.skip(f"no committed baseline for this host class ({path.name})")
+    report = benchmark.load_report(path)
+    assert report["host_class"] == benchmark.host_class()
+    assert len(report["probes"]) >= 6

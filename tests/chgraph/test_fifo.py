@@ -42,6 +42,19 @@ def test_push_raises_on_overflow():
         fifo.push(2)
 
 
+def test_push_on_full_counts_stall_exactly_once():
+    """Regression: ``push`` delegates to ``try_push``, which already counts
+    the stall — the failed push must record exactly one, not two."""
+    fifo = BoundedFifo(2)
+    fifo.push("a")
+    fifo.push("b")
+    with pytest.raises(FifoError):
+        fifo.push("c")
+    assert fifo.push_stalls == 1
+    assert fifo.pushes == 2  # the overflowing entry was never admitted
+    assert len(fifo) == 2
+
+
 def test_try_pop_stalls_when_empty():
     fifo = BoundedFifo(2)
     ok, entry = fifo.try_pop()

@@ -39,3 +39,34 @@ def test_report_is_frozen():
     report = EnergyReport(l1_nj=1, l2_nj=1, l3_nj=1, dram_nj=1, core_nj=1)
     with pytest.raises(Exception):
         report.l1_nj = 5
+
+
+def test_writebacks_cost_dram_energy():
+    """Regression: DRAM writeback lines must consume energy.
+
+    The same miss-heavy stream is driven once as writes and once as reads;
+    the write run drains dirty L3 victims to memory, and its DRAM energy
+    must be *strictly* higher than the read-only counterfactual, which
+    fetches the identical lines.
+    """
+    config = scaled_config(num_cores=1, llc_kb=2)
+    reports = {}
+    writebacks = {}
+    for write in (True, False):
+        hierarchy = MemoryHierarchy(config)
+        for _ in range(2):  # second sweep re-dirties and evicts again
+            for i in range(0, 8000, 8):
+                hierarchy.access(0, ArrayId.VERTEX_VALUE, i, write=write)
+        reports[write] = EnergyModel().report(hierarchy, compute_cycles=0)
+        writebacks[write] = hierarchy.writebacks()
+    assert writebacks[True] > 0 and writebacks[False] == 0
+    # Read-side fetch energy is identical; the write run adds writeback
+    # energy on top, raising the DRAM total and the memory fraction.
+    assert reports[True].dram_nj == reports[False].dram_nj
+    assert reports[False].dram_write_nj == 0.0
+    assert reports[True].dram_write_nj == (
+        writebacks[True] * EnergyModel.DRAM_WRITE_NJ
+    )
+    assert reports[True].dram_total_nj > reports[False].dram_total_nj
+    assert reports[True].total_nj > reports[False].total_nj
+    assert reports[True].memory_fraction > reports[False].memory_fraction

@@ -48,6 +48,53 @@ def test_hit_rate_matches_lru_semantics():
     assert profile.hit_rate(1) == pytest.approx(0.0)
 
 
+def test_hit_rate_is_conservative_inside_a_bucket():
+    """Regression: a bucket whose upper half straddles the capacity must
+    count as a miss, not a hit.
+
+    Stream ``[1, 2, 3, 4, 1]``: the second 1 has stack distance 3, which a
+    3-line LRU cache misses — but distance 3 lands in bucket 2 (covering
+    [2, 4)), whose *lower* bound is below the capacity.  The optimistic
+    bucketing bug counted it as a hit.
+    """
+    profile = profile_stream([1, 2, 3, 4, 1])
+    assert profile.hit_rate(3) == 0.0
+    # The whole bucket [2, 4) lies below capacity 4: now it hits.
+    assert profile.hit_rate(4) == pytest.approx(1 / 5)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=15), max_size=120))
+@settings(max_examples=50, deadline=None)
+def test_hit_rate_differential_vs_direct_lru(accesses):
+    """Differential: bucketed hit rate vs a direct fully-associative LRU
+    simulation of the same stream.
+
+    The bucketed estimate must never exceed the true hit rate (it is a
+    lower bound), and at power-of-two capacities — where every bucket lies
+    entirely on one side of the capacity — it must match exactly.
+    """
+    profile = profile_stream(accesses)
+    for capacity in range(1, 17):
+        cache: list[int] = []
+        hits = 0
+        for line in accesses:
+            if line in cache:
+                hits += 1
+                cache.remove(line)
+            elif len(cache) >= capacity:
+                cache.pop(0)
+            cache.append(line)
+        true_rate = hits / len(accesses) if accesses else 0.0
+        bucketed = profile.hit_rate(capacity)
+        assert bucketed <= true_rate + 1e-12, (
+            f"optimistic at capacity {capacity}"
+        )
+        if capacity & (capacity - 1) == 0:
+            assert bucketed == pytest.approx(true_rate), (
+                f"inexact at power-of-two capacity {capacity}"
+            )
+
+
 def test_empty_stream():
     profile = profile_stream([])
     assert profile.accesses == 0

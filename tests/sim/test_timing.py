@@ -124,3 +124,60 @@ def test_contended_phase_floored_at_drain_time():
     lines = 1_000_000
     phase = timer.barrier(sync_overhead=0, dram=dram, dram_lines=lines)
     assert phase >= dram.drain_cycles(lines)
+
+
+def test_drain_floor_attributed_as_memory_stall():
+    """Regression: cycles the drain floor adds are memory stalls.
+
+    A nearly idle phase floored at the channel drain time is pure
+    waiting-for-memory; ``memory_stall_fraction`` (Figure 5's metric) must
+    reflect that instead of under-reporting as if the cores were busy.
+    """
+    dram = make_dram()
+    timer = make_timer()
+    timer.charge_compute(0, 1)
+    lines = 1_000_000
+    phase = timer.barrier(sync_overhead=0, dram=dram, dram_lines=lines)
+    drain = dram.drain_cycles(lines)
+    assert phase == pytest.approx(drain)
+    # Of the floored phase, everything beyond the busiest core's own cycle
+    # is stall; the fraction approaches 1 for an idle, drain-bound phase.
+    assert timer.breakdown.memory_stall_cycles == pytest.approx(drain - 1)
+    assert timer.breakdown.memory_stall_fraction > 0.99
+
+
+def test_drain_floor_delta_stacks_on_contended_stall():
+    """The floor delta adds to (not replaces) the inflated stall cycles."""
+    dram = make_dram()
+    timer = make_timer(mlp=2.0)
+    timer.charge_memory(0, 1_000)
+    lines = 1_000_000
+    timer.barrier(sync_overhead=0, dram=dram, dram_lines=lines)
+    factor = dram.contention_factor(lines, 500.0)  # uncontended = 1000/2.0
+    contended_stall = 1_000 * factor / 2.0
+    delta = dram.drain_cycles(lines) - contended_stall
+    assert delta > 0  # the floor binds in this setup
+    assert timer.breakdown.memory_stall_cycles == pytest.approx(
+        contended_stall + delta
+    )
+
+
+def test_no_dram_path_stall_accounting_unchanged():
+    """``dram=None`` and ``dram_lines=0`` produce bit-identical breakdowns."""
+    plain = make_timer(mlp=2.0)
+    contended = make_timer(mlp=2.0)
+    for timer in (plain, contended):
+        timer.charge_compute(0, 100)
+        timer.charge_memory(0, 400)
+        timer.charge_memory(1, 900)
+    a = plain.barrier(sync_overhead=25)
+    b = contended.barrier(sync_overhead=25, dram=make_dram(), dram_lines=0)
+    assert a == b
+    assert plain.breakdown.total_cycles == contended.breakdown.total_cycles
+    assert (
+        plain.breakdown.memory_stall_cycles
+        == contended.breakdown.memory_stall_cycles
+    )
+    assert (
+        plain.breakdown.compute_cycles == contended.breakdown.compute_cycles
+    )
