@@ -11,6 +11,8 @@ stays in CI-smoke territory:
   parallel executor (the PR 3 tentpole), fresh store per repetition;
 - ``serve-roundtrip`` — submit→result latency against a live service
   answering from the store fast path (the PR 6 tentpole);
+- ``reorder-stage`` — the ``locality_reorder`` transform backing the
+  ``locality-reorder`` pipeline stage (the PR 9 tentpole's hot new code);
 - ``sim-inner-loop`` — the ChGraph engine inner loop on a seeded
   affiliation hypergraph (the simulator core every figure rests on).
 
@@ -87,11 +89,12 @@ def _store_warm_load():
 )
 def _run_many_jobs2():
     from repro.harness.runner import Runner
+    from repro.harness.spec import RunSpec
 
     config = scaled_config(num_cores=_SMALL_CORES, llc_kb=_SMALL_LLC_KB)
     specs = [
-        ("Hygra", "PR", "OG", config),
-        ("Hygra", "BFS", "FS", config),
+        RunSpec("Hygra", "PR", "OG", config),
+        RunSpec("Hygra", "BFS", "FS", config),
     ]
     roots: list[str] = []
 
@@ -152,10 +155,10 @@ def _serve_roundtrip():
     if not ready.wait(30):
         raise RuntimeError("bench service failed to start")
     client = ServiceClient(port=service.port)
-    request = JobRequest(
-        engine="Hygra",
-        algorithm="BFS",
-        dataset="FS",
+    request = JobRequest.build(
+        "Hygra",
+        "BFS",
+        "FS",
         cores=_SMALL_CORES,
         llc_kb=_SMALL_LLC_KB,
         pr_iterations=1,
@@ -170,6 +173,17 @@ def _serve_roundtrip():
         shutil.rmtree(root, ignore_errors=True)
 
     return (lambda: client.run(request, timeout=600)), cleanup
+
+
+@bench(
+    "reorder-stage",
+    "locality_reorder (degree-sort + CSR rebuild) on a seeded hypergraph",
+)
+def _reorder_stage():
+    from repro.hypergraph.reorder import locality_reorder
+
+    hypergraph = seeded_graphs(1)[0]
+    return lambda: locality_reorder(hypergraph)
 
 
 @bench(

@@ -72,7 +72,9 @@ from repro.harness import differential
 from repro.harness import experiments as registry
 from repro.harness.report import render_table, render_telemetry
 from repro.harness.runner import ALGORITHM_NAMES, Runner
+from repro.harness.spec import RunSpec
 from repro.hypergraph.generators import PAPER_DATASETS
+from repro.hypergraph.pipeline import PreprocessSpec, StageSpec, stage_names
 from repro.sim.config import scaled_config
 from repro.store import ArtifactStore, prewarm, prewarm_jobs, resolve_cache_dir
 
@@ -139,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--pr-iterations", type=int, default=2,
             help="iterations for PR/Adsorption",
+        )
+        p.add_argument(
+            "--w-min", type=int, default=None,
+            help="OAG pruning threshold (default: the paper's w_min)",
+        )
+        p.add_argument(
+            "--d-max", type=int, default=None,
+            help="chain depth bound (default: the paper's d_max)",
+        )
+        p.add_argument(
+            "--preprocess", action="append", default=None,
+            choices=stage_names(), metavar="STAGE",
+            help="preprocessing stage to apply before simulation "
+                 f"(repeatable; one of: {', '.join(stage_names())})",
         )
 
     run = sub.add_parser("run", help="simulate one engine on one workload")
@@ -401,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="request an instrumented run (separate cache entry)",
     )
     submit.add_argument(
+        "--check", action="store_true",
+        help="request a checked run: the service re-executes the "
+             "simulation under the invariant checker (never answered "
+             "from the store)",
+    )
+    submit.add_argument(
         "--no-wait", action="store_true",
         help="print the accepted job and return without waiting",
     )
@@ -428,10 +450,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _runner_and_config(args: argparse.Namespace):
-    runner = Runner(pr_iterations=args.pr_iterations)
-    config = scaled_config(num_cores=args.cores, llc_kb=args.llc_kb)
-    return runner, config
+def _preprocess_spec(args: argparse.Namespace) -> PreprocessSpec:
+    """The workload flags' preprocessing record (defaults where unset)."""
+    defaults = PreprocessSpec()
+    return PreprocessSpec(
+        w_min=defaults.w_min if args.w_min is None else args.w_min,
+        d_max=defaults.d_max if args.d_max is None else args.d_max,
+        stages=tuple(
+            StageSpec.make(name) for name in (args.preprocess or ())
+        ),
+    )
+
+
+def _workload_spec(args: argparse.Namespace, engine: str) -> RunSpec:
+    """Build the :class:`RunSpec` the workload flags describe."""
+    return RunSpec(
+        engine=engine,
+        algorithm=args.algorithm,
+        dataset=args.dataset,
+        config=scaled_config(num_cores=args.cores, llc_kb=args.llc_kb),
+        pr_iterations=args.pr_iterations,
+        preprocessing=_preprocess_spec(args),
+    )
 
 
 def _cmd_datasets(_: argparse.Namespace) -> int:
@@ -466,18 +506,19 @@ def _render_run_result(result) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner, config = _runner_and_config(args)
-    result = runner.run(args.engine, args.algorithm, args.dataset, config)
+    runner = Runner()
+    result = runner.run(_workload_spec(args, args.engine))
     print(_render_run_result(result))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    runner, config = _runner_and_config(args)
-    baseline = runner.run("Hygra", args.algorithm, args.dataset, config)
+    runner = Runner()
+    config = scaled_config(num_cores=args.cores, llc_kb=args.llc_kb)
+    baseline = runner.run(_workload_spec(args, "Hygra"))
     rows = []
     for engine in ("Hygra", "GLA", "ChGraph"):
-        result = runner.run(engine, args.algorithm, args.dataset, config)
+        result = runner.run(_workload_spec(args, engine))
         rows.append([
             engine,
             result.cycles,
@@ -502,12 +543,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown engine(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    runner, config = _runner_and_config(args)
+    runner = Runner()
     violations = 0
     for engine in engines:
         result = runner.run(
-            engine, args.algorithm, args.dataset, config, profile=True,
-            check=args.check,
+            _workload_spec(args, engine), profile=True, check=args.check,
         )
         label = f"{engine} — {args.algorithm} on {args.dataset}"
         if result.telemetry is None:
@@ -903,7 +943,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     from repro.service import JobRequest, ServiceClient
 
-    request = JobRequest(
+    request = JobRequest.build(
         engine=args.engine,
         algorithm=args.algorithm,
         dataset=args.dataset,
@@ -911,6 +951,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         llc_kb=args.llc_kb,
         pr_iterations=args.pr_iterations,
         profile=args.profile,
+        check=args.check,
+        w_min=args.w_min,
+        d_max=args.d_max,
+        stages=tuple(args.preprocess or ()),
         priority=args.priority,
     )
     client = _client(args)
@@ -946,10 +990,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
             )
         ]
         request = job.get("request", {})
+        # The wire format wraps the RunSpec; fall back to the legacy flat
+        # fields for records from an older server.
+        spec = request.get("spec", request)
         rows[2:2] = [[
             "request",
-            f"{request.get('engine')}/{request.get('algorithm')}/"
-            f"{request.get('dataset')}",
+            f"{spec.get('engine')}/{spec.get('algorithm')}/"
+            f"{spec.get('dataset')}",
         ]]
         print(render_table(["Field", "Value"], rows, title=f"Job {job['job_id']}"))
         return 0 if job["state"] != "failed" else 1

@@ -21,6 +21,7 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.partition import contiguous_chunks
 
 if TYPE_CHECKING:
+    from repro.hypergraph.pipeline import PreprocessSpec
     from repro.store import ArtifactStore
 
 __all__ = ["GlaResources"]
@@ -87,21 +88,35 @@ class GlaResources:
         d_max: int = DEFAULT_D_MAX,
         fast: bool = True,
         store: "ArtifactStore | None" = None,
+        preprocessing: "PreprocessSpec | None" = None,
     ) -> "GlaResources":
         """:meth:`build`, persisted through an artifact ``store``.
 
         With ``store`` (an :class:`~repro.store.ArtifactStore`), the
-        content-addressed entry for this hypergraph + parameter combination
-        is loaded when present and bit-identical to a fresh build; on a
-        miss — including checksum or schema failures, which the store
-        reports as misses — the resources are built and written back.
+        content-addressed entry for this hypergraph + preprocessing
+        combination is loaded when present and bit-identical to a fresh
+        build; on a miss — including checksum or schema failures, which the
+        store reports as misses — the resources are built and written back.
         ``store=None`` degrades to a plain build.
+
+        ``preprocessing`` (a
+        :class:`~repro.hypergraph.pipeline.PreprocessSpec`) is the typed
+        form of the build parameters; when given, its ``w_min``/``d_max``
+        supersede the legacy keyword arguments and its full record —
+        including the stage list that produced ``hypergraph`` — is hashed
+        into the store key, so artifacts can never alias across pipelines.
         """
+        from repro.hypergraph.pipeline import PreprocessSpec
+
+        if preprocessing is None:
+            preprocessing = PreprocessSpec(w_min=w_min, d_max=d_max)
+        w_min = preprocessing.w_min
+        d_max = preprocessing.d_max
         if store is None:
             return cls.build(hypergraph, num_cores, w_min=w_min, d_max=d_max, fast=fast)
         from repro.store.keys import resources_key
 
-        key = resources_key(hypergraph.content_hash(), num_cores, w_min, d_max)
+        key = resources_key(hypergraph.content_hash(), num_cores, preprocessing)
         resources = store.get_resources(key)
         if resources is None:
             resources = cls.build(

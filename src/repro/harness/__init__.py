@@ -5,12 +5,12 @@ from repro.harness.datasets import graph_dataset, hypergraph_dataset
 from repro.harness.parallel import (
     ExecutionReport,
     RunReport,
-    RunSpec,
     execute_runs,
     plan_shards,
 )
 from repro.harness.report import render_table
 from repro.harness.runner import Runner, get_runner
+from repro.harness.spec import RunSpec
 
 __all__ = [
     "ExecutionReport",

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+from typing import Callable, Iterator
 
 import numpy as np
 
+from repro.engine import RunResult
 from repro.engine.registry import engine_names
 from repro.errors import EngineError
 from repro.harness.runner import Runner
@@ -138,7 +140,7 @@ FAULT_KINDS: tuple[str, ...] = ("lost-writeback", "skewed-attribution")
 
 
 @contextlib.contextmanager
-def inject_fault(kind: str):
+def inject_fault(kind: str) -> "Iterator[None]":
     """Deliberately break the hierarchy for the duration of the context.
 
     ``lost-writeback`` reintroduces the silent write-traffic loss this PR
@@ -153,33 +155,45 @@ def inject_fault(kind: str):
         def broken(self, line: int) -> None:  # drop the writeback silently
             return None
 
-        MemoryHierarchy._writeback_to_dram = broken
+        MemoryHierarchy._writeback_to_dram = broken  # type: ignore[method-assign]
         try:
             yield
         finally:
-            MemoryHierarchy._writeback_to_dram = original
+            MemoryHierarchy._writeback_to_dram = original  # type: ignore[method-assign]
     elif kind == "skewed-attribution":
         original_access = MemoryHierarchy.access
 
-        def skewed(self, core, array, index, write=False):
+        def skewed(
+            self: MemoryHierarchy,
+            core: int,
+            array: str,
+            index: int,
+            write: bool = False,
+        ) -> float:
             before = self.dram.accesses
             latency = original_access(self, core, array, index, write=write)
             if self.dram.accesses != before:
                 self.dram_by_array[array] -= 1  # un-attribute the fetch
             return latency
 
-        MemoryHierarchy.access = skewed
+        MemoryHierarchy.access = skewed  # type: ignore[method-assign]
         try:
             yield
         finally:
-            MemoryHierarchy.access = original_access
+            MemoryHierarchy.access = original_access  # type: ignore[method-assign]
     else:
         raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")
 
 
 # -- the sweep ---------------------------------------------------------------
 
-def _checked_run(runner, engine_name, algorithm_name, hypergraph, config):
+def _checked_run(
+    runner: Runner,
+    engine_name: str,
+    algorithm_name: str,
+    hypergraph: Hypergraph,
+    config: SystemConfig,
+) -> "tuple[RunResult, list[str]]":
     """One simulated run with an invariant checker attached.
 
     Returns ``(result, violations)``; raises :class:`EngineError` when the
@@ -201,7 +215,7 @@ def run_differential(
     config: SystemConfig | None = None,
     ordering: bool = True,
     pr_iterations: int = 2,
-    log=None,
+    log: "Callable[[str], None] | None" = None,
 ) -> DifferentialReport:
     """Sweep engines x algorithms x seeded graphs; return the findings."""
     if engines is None:

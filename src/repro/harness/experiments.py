@@ -8,17 +8,18 @@ numbers next to the paper's.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.chgraph.area import area_report
-from repro.engine import ChGraphEngine, GlaResources, HygraEngine, RunResult
+from repro.engine import RunResult
 from repro.harness.datasets import GRAPH_DATASETS
-from repro.harness.parallel import RunSpec
 from repro.harness.runner import PAPER_APPS, Runner
+from repro.harness.spec import RunSpec
 from repro.hypergraph.generators import PAPER_DATASETS
 from repro.harness.report import with_bars
-from repro.hypergraph.reorder import locality_reorder
+from repro.hypergraph.pipeline import PreprocessSpec, StageSpec
 from repro.hypergraph.stats import dataset_stats, overlap_curve
-from repro.sim.config import scaled_config, table1_config
-from repro.sim.system import SimulatedSystem
+from repro.sim.config import SystemConfig, scaled_config, table1_config
 
 __all__ = [
     "RUN_MATRICES",
@@ -53,6 +54,11 @@ __all__ = [
 PREPROCESS_OP_CYCLES = 2.0
 OAG_OP_CYCLES = 0.5
 
+#: The Figure 24 preprocessing record: run the spatial locality reordering
+#: as a registered pipeline stage in front of the engine, instead of
+#: hand-building reordered engines outside the runner.
+REORDER_PREPROCESS = PreprocessSpec(stages=(StageSpec.make("locality-reorder"),))
+
 
 # -- run matrices ------------------------------------------------------------
 
@@ -61,7 +67,7 @@ def _specs(
     engines: tuple[str, ...],
     apps: tuple[str, ...],
     datasets: tuple[str, ...],
-    config=None,
+    config: SystemConfig | None = None,
 ) -> list[RunSpec]:
     """The cross product of engines × apps × datasets as run specs."""
     return [
@@ -69,6 +75,30 @@ def _specs(
         for a in apps
         for d in datasets
         for e in engines
+    ]
+
+
+def _fig17_specs(depths: tuple[int, ...] = (2, 4, 8, 16, 32, 64)) -> list[RunSpec]:
+    return [
+        RunSpec("ChGraph", "PR", "WEB", preprocessing=PreprocessSpec(d_max=d))
+        for d in depths
+    ]
+
+
+def _fig18_specs(
+    thresholds: tuple[int, ...] = (1, 3, 9, 17, 33, 65),
+) -> list[RunSpec]:
+    return [
+        RunSpec("ChGraph", "PR", "WEB", preprocessing=PreprocessSpec(w_min=w))
+        for w in thresholds
+    ]
+
+
+def _fig24_specs() -> list[RunSpec]:
+    plain = _specs(("Hygra", "ChGraph"), ("PR",), ("WEB",))
+    return plain + [
+        RunSpec(spec.engine, "PR", "WEB", preprocessing=REORDER_PREPROCESS)
+        for spec in plain
     ]
 
 
@@ -92,9 +122,11 @@ def _fig20_specs() -> list[RunSpec]:
 #: The ``runner.run`` matrix each figure consumes, declared up front so the
 #: sharded executor (:mod:`repro.harness.parallel`) can run a whole figure
 #: suite in parallel before the figure functions assemble their tables from
-#: warm cache hits.  Figures whose runs use bespoke resources (fig17/fig18
-#: sweeps, fig24's reordered engines) or no runs at all declare only their
-#: ``runner.run``-driven subset, or nothing.
+#: warm cache hits.  Since every run — including the fig17/fig18 sensitivity
+#: sweeps and fig24's reordered engines — is now expressed as a
+#: :class:`~repro.harness.spec.RunSpec` with its own preprocessing record,
+#: every figure's full matrix is declared here; only config tables declare
+#: nothing.
 RUN_MATRICES = {
     "fig02": lambda: _specs(("Hygra", "GLA", "ChGraph"), ("PR",), ("WEB",)),
     "fig03": lambda: _specs(("Hygra", "GLA", "ChGraph"), ("PR",), ("WEB",)),
@@ -105,13 +137,15 @@ RUN_MATRICES = {
     "fig16": lambda: _specs(
         ("GLA", "ChGraph-HCGonly", "ChGraph"), PAPER_APPS, ("WEB",)
     ),
+    "fig17": _fig17_specs,
+    "fig18": _fig18_specs,
     "fig19": _fig19_specs,
     "fig20": _fig20_specs,
     "fig22": lambda: _specs(("Hygra", "ChGraph"), ("BFS", "PR", "CC"), PAPER_DATASETS),
     "fig23": lambda: _specs(
         ("EventPrefetcher", "ChGraph", "Hygra"), ("BFS", "PR", "CC"), PAPER_DATASETS
     ),
-    "fig24": lambda: _specs(("Hygra", "ChGraph"), ("PR",), ("WEB",)),
+    "fig24": _fig24_specs,
     "fig25": lambda: _specs(
         ("Ligra", "HATS-V", "ChGraph"), ("Adsorption", "SSSP"), GRAPH_DATASETS
     ),
@@ -121,7 +155,7 @@ RUN_MATRICES = {
 }
 
 
-def run_matrix(ids) -> list[RunSpec]:
+def run_matrix(ids: Iterable[str]) -> list[RunSpec]:
     """The deduplicated union run matrix of the given experiment ids.
 
     Ids without a declared matrix (config tables, bespoke-resource sweeps)
@@ -350,21 +384,27 @@ def _chgraph_run(
     runner: Runner,
     d_max: int | None = None,
     w_min: int | None = None,
-    config=None,
+    config: SystemConfig | None = None,
 ) -> RunResult:
-    """A ChGraph PR run with non-default resources (sweeps)."""
-    if config is None:
-        config = scaled_config()
-    hypergraph = runner.dataset(dataset_key)
-    kwargs = {}
-    if d_max is not None:
-        kwargs["d_max"] = d_max
-    if w_min is not None:
-        kwargs["w_min"] = w_min
-    resources = GlaResources.build(hypergraph, config.num_cores, **kwargs)
-    engine = ChGraphEngine(resources)
-    algorithm = runner.algorithm("PR")
-    return engine.run(algorithm, hypergraph, SimulatedSystem(config))
+    """A ChGraph PR run with non-default preprocessing (sweeps).
+
+    The sweep point travels as the spec's own ``PreprocessSpec``, so these
+    runs go through the ordinary memoized/store-backed ``runner.run`` path
+    instead of hand-building resources — and their specs match the ones
+    :data:`RUN_MATRICES` declares for prewarming.
+    """
+    defaults = PreprocessSpec()
+    spec = RunSpec(
+        "ChGraph",
+        "PR",
+        dataset_key,
+        config=config,
+        preprocessing=PreprocessSpec(
+            w_min=defaults.w_min if w_min is None else w_min,
+            d_max=defaults.d_max if d_max is None else d_max,
+        ),
+    )
+    return runner.run(spec)
 
 
 def fig17_dmax_sweep(
@@ -532,22 +572,23 @@ def fig23_prefetcher(
 def fig24_reordering(
     runner: Runner, dataset: str = "WEB"
 ) -> tuple[str, list[str], list[list[object]]]:
-    """Spatial reordering does not beat chain scheduling (PR)."""
-    config = scaled_config()
-    hypergraph = runner.dataset(dataset)
-    reordering = locality_reorder(hypergraph)
-    reorder_cycles = reordering.cost_accesses * PREPROCESS_OP_CYCLES
+    """Spatial reordering does not beat chain scheduling (PR).
+
+    The reordered systems are ordinary runs whose spec carries the
+    ``locality-reorder`` pipeline stage; the reordering cost comes from the
+    runner's memoized pipeline result, so the comparison charges exactly
+    the preprocessing work the runs actually performed.
+    """
+    pipeline = runner.pipeline(runner.dataset(dataset), REORDER_PREPROCESS)
+    reorder_cycles = pipeline.cost_accesses * PREPROCESS_OP_CYCLES
 
     hygra = runner.run("Hygra", "PR", dataset)
     chg = runner.run("ChGraph", "PR", dataset)
-
-    algorithm = runner.algorithm("PR")
-    hygra_re = HygraEngine().run(
-        algorithm, reordering.hypergraph, SimulatedSystem(config)
+    hygra_re = runner.run(
+        RunSpec("Hygra", "PR", dataset, preprocessing=REORDER_PREPROCESS)
     )
-    resources = GlaResources.build(reordering.hypergraph, config.num_cores)
-    chg_re = ChGraphEngine(resources).run(
-        runner.algorithm("PR"), reordering.hypergraph, SimulatedSystem(config)
+    chg_re = runner.run(
+        RunSpec("ChGraph", "PR", dataset, preprocessing=REORDER_PREPROCESS)
     )
     rows = [
         ["Hygra", hygra.cycles, 1.0],

@@ -34,10 +34,15 @@ import dataclasses
 import os
 import signal
 import time
+from typing import TYPE_CHECKING
 
 from repro.core.chain import DEFAULT_D_MAX
 from repro.core.oag import DEFAULT_W_MIN
-from repro.sim.config import SystemConfig, scaled_config
+from repro.harness.spec import RunSpec
+from repro.hypergraph.pipeline import PreprocessSpec
+
+if TYPE_CHECKING:
+    from repro.harness.runner import Runner
 
 __all__ = [
     "RESOURCE_ENGINES",
@@ -54,27 +59,6 @@ __all__ = [
 RESOURCE_ENGINES: frozenset[str] = frozenset(
     {"GLA", "ChGraph", "ChGraph-HCGonly", "ChGraph-CPonly", "HATS-V"}
 )
-
-
-@dataclasses.dataclass(frozen=True)
-class RunSpec:
-    """One cell of the run matrix, picklable and hashable.
-
-    ``config=None`` means the default :func:`~repro.sim.config.scaled_config`
-    — kept as ``None`` (not eagerly resolved) so specs stay cheap to hash
-    and compare.
-    """
-
-    engine: str
-    algorithm: str
-    dataset: str
-    config: SystemConfig | None = None
-
-    def resolved_config(self) -> SystemConfig:
-        return self.config if self.config is not None else scaled_config()
-
-    def label(self) -> str:
-        return f"{self.engine}/{self.algorithm}/{self.dataset}"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -113,17 +97,20 @@ class ExecutionReport:
 # -- shard planning ----------------------------------------------------------
 
 
-def resource_group(spec: RunSpec) -> tuple[str, int | None]:
-    """The preprocessing-sharing key of a run.
+def resource_group(spec: RunSpec) -> tuple[str, int | None, PreprocessSpec]:
+    """The preprocessing-sharing key of a run, derived from its spec.
 
     OAG-consuming engines need the ``GlaResources`` artifact for
-    ``(dataset, num_cores)``; the rest only need the dataset itself (which
-    each worker also materializes once).  Runs with equal keys land on one
-    shard so neither is built twice.
+    ``(dataset, num_cores, preprocessing)``; the rest only need the
+    (pipelined) dataset itself, which each worker also materializes once.
+    Runs with equal keys land on one shard so neither is built twice.  The
+    preprocessing record is part of the key because specs with different
+    stage lists or OAG parameters share no artifacts at all.
     """
+    preprocessing = spec.resolved_preprocessing()
     if spec.engine in RESOURCE_ENGINES:
-        return (spec.dataset, spec.resolved_config().num_cores)
-    return (spec.dataset, None)
+        return (spec.dataset, spec.resolved_config().num_cores, preprocessing)
+    return (spec.dataset, None, preprocessing)
 
 
 def plan_shards(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
@@ -137,7 +124,7 @@ def plan_shards(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
     unique = list(dict.fromkeys(specs))
     if jobs <= 1:
         return [unique] if unique else []
-    groups: dict[tuple[str, int | None], list[RunSpec]] = {}
+    groups: dict[tuple[str, int | None, PreprocessSpec], list[RunSpec]] = {}
     for spec in unique:
         groups.setdefault(resource_group(spec), []).append(spec)
     ordered = sorted(
@@ -157,17 +144,18 @@ def plan_shards(specs: list[RunSpec], jobs: int) -> list[list[RunSpec]]:
 
 @dataclasses.dataclass(frozen=True)
 class _ShardPayload:
-    """Everything a worker needs to rebuild its Runner and run its shard."""
+    """Everything a worker needs to rebuild its Runner and run its shard.
+
+    The specs are fully normalized before sharding, so they carry their own
+    ``pr_iterations``/``profile``/``preprocessing``; only the store
+    location and the key-exempt ``fast`` flag travel separately.
+    """
 
     cache_dir: str | None
     specs: tuple[RunSpec, ...]
-    pr_iterations: int
     fast: bool
-    w_min: int
-    d_max: int
     timeout: float | None
     parent_pid: int
-    profile: bool = False
     fault: str | None = None  # test hook, see _maybe_fault
 
 
@@ -204,7 +192,10 @@ def _maybe_fault(payload: _ShardPayload, spec: RunSpec) -> None:
 
 
 def _run_one(
-    runner, spec: RunSpec, timeout: float | None, payload: _ShardPayload
+    runner: "Runner",
+    spec: RunSpec,
+    timeout: float | None,
+    payload: _ShardPayload,
 ) -> None:
     """Execute one spec on ``runner`` under an optional SIGALRM budget.
 
@@ -214,23 +205,17 @@ def _run_one(
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     if not use_alarm:
         _maybe_fault(payload, spec)
-        runner.run(
-            spec.engine, spec.algorithm, spec.dataset, spec.config,
-            profile=payload.profile,
-        )
+        runner.run(spec)
         return
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: object) -> None:
         raise _RunTimeout(f"run exceeded {timeout}s")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         _maybe_fault(payload, spec)
-        runner.run(
-            spec.engine, spec.algorithm, spec.dataset, spec.config,
-            profile=payload.profile,
-        )
+        runner.run(spec)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -246,13 +231,7 @@ def _run_shard(payload: _ShardPayload) -> list[RunReport]:
     """
     from repro.harness.runner import Runner
 
-    runner = Runner(
-        pr_iterations=payload.pr_iterations,
-        fast=payload.fast,
-        cache_dir=payload.cache_dir,
-        w_min=payload.w_min,
-        d_max=payload.d_max,
-    )
+    runner = Runner(fast=payload.fast, cache_dir=payload.cache_dir)
     where = "worker" if os.getpid() != payload.parent_pid else "inline"
     reports = []
     for spec in payload.specs:
@@ -307,26 +286,37 @@ def execute_runs(
     (None-on-1-cpu, 0, 1)``, or fewer than two runs, execution degrades to
     a single inline shard.  ``fault`` is the test-only crash-injection
     hook documented on ``_maybe_fault``.
+
+    The ``pr_iterations``/``w_min``/``d_max``/``profile`` keywords are the
+    defaults specs are normalized against — a spec that carries its own
+    values keeps them (``profile`` is sticky: asking the executor to
+    profile profiles every run).
     """
     start = time.perf_counter()
-    unique = list(dict.fromkeys(specs))
+    defaults = PreprocessSpec(w_min=w_min, d_max=d_max)
+    unique = list(dict.fromkeys(
+        spec.normalized(
+            pr_iterations=pr_iterations,
+            preprocessing=defaults,
+            profile=profile,
+        )
+        for spec in specs
+    ))
     if jobs is None:
         jobs = os.cpu_count() or 1
     jobs = max(1, jobs)
     parallel = cache_dir is not None and jobs > 1 and len(unique) > 1
     cache_dir = str(cache_dir) if cache_dir is not None else None
 
-    def _payload(shard: list[RunSpec], per_run_timeout: float | None):
+    def _payload(
+        shard: list[RunSpec], per_run_timeout: float | None
+    ) -> _ShardPayload:
         return _ShardPayload(
             cache_dir=cache_dir,
             specs=tuple(shard),
-            pr_iterations=pr_iterations,
             fast=fast,
-            w_min=w_min,
-            d_max=d_max,
             timeout=per_run_timeout,
             parent_pid=os.getpid(),
-            profile=profile,
             fault=fault,
         )
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Any, Iterable
 
 from repro.algorithms import (
     Adsorption,
@@ -31,6 +32,10 @@ from repro.algorithms import (
     PageRank,
     Sssp,
 )
+import dataclasses
+
+import numpy as np
+
 from repro.algorithms.base import HypergraphAlgorithm
 from repro.engine import GlaResources, RunResult
 from repro.core.chain import DEFAULT_D_MAX
@@ -38,8 +43,14 @@ from repro.core.oag import DEFAULT_W_MIN
 from repro.engine.base import ExecutionEngine
 from repro.engine.registry import ENGINE_REGISTRY, create_engine
 from repro.harness.datasets import graph_dataset, hypergraph_dataset
+from repro.harness.spec import RunSpec
 from repro.hypergraph.hypergraph import Hypergraph
-from repro.sim.config import SystemConfig, scaled_config
+from repro.hypergraph.pipeline import (
+    PipelineResult,
+    PreprocessSpec,
+    apply_pipeline,
+)
+from repro.sim.config import SystemConfig
 from repro.sim.observe import InstrumentedSystem
 from repro.sim.system import SimulatedSystem
 
@@ -59,6 +70,32 @@ def _full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 
+def _unpermute_result(result: RunResult, vertex_perm: np.ndarray) -> RunResult:
+    """Gather vertex-indexed result arrays back to original-id order.
+
+    ``vertex_perm[old_id] = new_id``, so ``arr[vertex_perm]`` places the
+    value the reordered run computed for original vertex ``old_id`` at
+    index ``old_id`` — algorithm outputs stay id-stable no matter what
+    renumbering the pipeline applied.  Only arrays of length
+    ``num_vertices`` are vertex-indexed (``hyperedge_values`` is not, and
+    scalar/other-shaped ``result`` payloads pass through untouched); value
+    *domains* that reference vertex ids (e.g. CC component labels) are left
+    in the reordered id space.
+    """
+    num_vertices = len(vertex_perm)
+
+    def gather(arr: np.ndarray) -> np.ndarray:
+        if isinstance(arr, np.ndarray) and arr.ndim == 1 and len(arr) == num_vertices:
+            return arr[vertex_perm]
+        return arr
+
+    return dataclasses.replace(
+        result,
+        result=gather(result.result),
+        vertex_values=gather(result.vertex_values),
+    )
+
+
 class Runner:
     """Builds engines/algorithms by name and memoizes simulation runs.
 
@@ -75,15 +112,22 @@ class Runner:
         cache_dir: str | Path | None = None,
         w_min: int = DEFAULT_W_MIN,
         d_max: int = DEFAULT_D_MAX,
+        preprocessing: PreprocessSpec | None = None,
     ) -> None:
         if pr_iterations is None:
             pr_iterations = 10 if _full_mode() else 2
         self.pr_iterations = pr_iterations
         self.fast = fast
-        self.w_min = w_min
-        self.d_max = d_max
-        self._results: dict[tuple, RunResult] = {}
+        #: The default preprocessing record for specs that do not carry
+        #: their own; ``w_min``/``d_max`` are its legacy spelling.
+        if preprocessing is None:
+            preprocessing = PreprocessSpec(w_min=w_min, d_max=d_max)
+        self.preprocessing = preprocessing
+        self.w_min = preprocessing.w_min
+        self.d_max = preprocessing.d_max
+        self._results: dict[RunSpec, RunResult] = {}
         self._resources: dict[tuple, GlaResources] = {}
+        self._pipelines: dict[tuple, PipelineResult] = {}
         from repro.store import ArtifactStore, resolve_cache_dir
 
         resolved = resolve_cache_dir(cache_dir)
@@ -110,39 +154,59 @@ class Runner:
         except KeyError:
             raise KeyError(f"unknown algorithm {name!r}") from None
 
-    def resources(self, hypergraph: Hypergraph, config: SystemConfig) -> GlaResources:
+    def resources(
+        self,
+        hypergraph: Hypergraph,
+        config: SystemConfig,
+        preprocessing: PreprocessSpec | None = None,
+    ) -> GlaResources:
         # The memo keys on the hypergraph *content* plus every build
         # parameter: name-keying would alias differently scaled variants of
-        # one dataset, and dropping w_min/d_max/fast would alias runners
-        # configured with non-default preprocessing.
+        # one dataset, and dropping the preprocessing record or fast would
+        # alias runs configured with non-default preprocessing.
+        if preprocessing is None:
+            preprocessing = self.preprocessing
         key = (
             hypergraph.content_hash(),
             config.num_cores,
-            self.w_min,
-            self.d_max,
+            preprocessing,
             self.fast,
         )
         if key not in self._resources:
             self._resources[key] = GlaResources.build_or_load(
                 hypergraph,
                 config.num_cores,
-                w_min=self.w_min,
-                d_max=self.d_max,
                 fast=self.fast,
                 store=self.store,
+                preprocessing=preprocessing,
             )
         return self._resources[key]
 
     def engine(
-        self, name: str, hypergraph: Hypergraph, config: SystemConfig
+        self,
+        name: str,
+        hypergraph: Hypergraph,
+        config: SystemConfig,
+        preprocessing: PreprocessSpec | None = None,
     ) -> ExecutionEngine:
         spec = ENGINE_REGISTRY.get(name)
         if spec is None:
             raise KeyError(f"unknown engine {name!r}")
         resources = (
-            self.resources(hypergraph, config) if spec.needs_resources else None
+            self.resources(hypergraph, config, preprocessing)
+            if spec.needs_resources
+            else None
         )
         return create_engine(name, resources)
+
+    def pipeline(
+        self, hypergraph: Hypergraph, preprocessing: PreprocessSpec
+    ) -> PipelineResult:
+        """Run (memoized) the preprocessing stage list on a loaded dataset."""
+        key = (hypergraph.content_hash(), preprocessing.stages)
+        if key not in self._pipelines:
+            self._pipelines[key] = apply_pipeline(hypergraph, preprocessing)
+        return self._pipelines[key]
 
     def dataset(self, key: str) -> Hypergraph:
         if key in ("AZ", "PK"):
@@ -151,16 +215,30 @@ class Runner:
 
     # -- memoized execution ------------------------------------------------------
 
+    def normalize(self, spec: RunSpec) -> RunSpec:
+        """Resolve a spec's ``None`` fields against this runner's defaults."""
+        return spec.normalized(
+            pr_iterations=self.pr_iterations,
+            preprocessing=self.preprocessing,
+        )
+
     def run(
         self,
-        engine_name: str,
-        algorithm_name: str,
-        dataset_key: str,
+        spec: RunSpec | str,
+        algorithm_name: str | None = None,
+        dataset_key: str | None = None,
         config: SystemConfig | None = None,
         profile: bool = False,
         check: bool = False,
     ) -> RunResult:
-        """Simulate (memoized) and return the :class:`RunResult`.
+        """Simulate (memoized) a :class:`~repro.harness.spec.RunSpec` and
+        return the :class:`RunResult`.
+
+        The canonical call is ``run(spec)``.  The legacy positional
+        signature ``run(engine_name, algorithm_name, dataset_key, config,
+        profile=, check=)`` still works as a deprecated shim — it is
+        repackaged into a spec — and the ``profile``/``check`` keywords act
+        as sticky overrides on a spec that did not set them itself.
 
         ``profile=True`` runs the simulation under an
         :class:`~repro.sim.observe.InstrumentedSystem` so the result carries
@@ -175,60 +253,75 @@ class Runner:
         store — the whole point of checking is to re-execute the simulation,
         and a store hit would silently skip the audit.
         """
-        if config is None:
-            config = scaled_config()
-        if check:
-            profile = True
-        # SystemConfig is a frozen dataclass, hence hashable: keying on the
-        # full config (not its name) keeps modified copies distinct.
-        key = (engine_name, algorithm_name, dataset_key, config,
-               self.pr_iterations, profile, check)
-        if key in self._results:
-            return self._results[key]
+        if not isinstance(spec, RunSpec):
+            if algorithm_name is None or dataset_key is None:
+                raise TypeError(
+                    "run() takes a RunSpec or the legacy "
+                    "(engine, algorithm, dataset[, config]) positional form"
+                )
+            spec = RunSpec(spec, algorithm_name, dataset_key, config)
+        return self._run_spec(
+            spec.normalized(
+                pr_iterations=self.pr_iterations,
+                preprocessing=self.preprocessing,
+                profile=profile,
+                check=check,
+            )
+        )
+
+    def _run_spec(self, spec: RunSpec) -> RunResult:
+        """Execute one fully-normalized spec (the memo and store unit)."""
+        # RunSpec is frozen and fully resolved here, hence hashable: keying
+        # on the whole spec keeps modified configs and preprocessing
+        # pipelines distinct.
+        if spec in self._results:
+            return self._results[spec]
         # One dataset resolution serves both the store lookup (content
         # hash) and the simulation itself — loading twice doubled the
         # generator cost on every store-enabled cache miss.
-        hypergraph = self.dataset(dataset_key)
+        hypergraph = self.dataset(spec.dataset)
         store_key = None
-        if self.store is not None and not check:
+        if self.store is not None and not spec.check:
             from repro.store import run_result_key
 
-            store_key = run_result_key(
-                engine_name,
-                algorithm_name,
-                hypergraph.content_hash(),
-                config,
-                self.pr_iterations,
-                profile=profile,
-            )
+            # Keys hash the *loaded* dataset's content plus the spec's full
+            # preprocessing record — the stage list is part of the key, so
+            # the pipeline only runs on a genuine miss.
+            store_key = run_result_key(spec, hypergraph.content_hash())
             cached = self.store.get_run_result(store_key)
             if cached is not None:
-                self._results[key] = cached
+                self._results[spec] = cached
                 return cached
-        engine = self.engine(engine_name, hypergraph, config)
-        algorithm = self.algorithm(algorithm_name)
-        system = SimulatedSystem(config)
-        if profile:
+        preprocessing = spec.resolved_preprocessing()
+        pipeline = self.pipeline(hypergraph, preprocessing)
+        engine = self.engine(
+            spec.engine, pipeline.hypergraph, spec.config, preprocessing
+        )
+        algorithm = self.algorithm(spec.algorithm)
+        system = SimulatedSystem(spec.config)
+        if spec.profile:
             system = InstrumentedSystem.profiled(system)
-        if check:
+        if spec.check:
             from repro.sim.invariants import InvariantChecker
 
             system.add_observer(InvariantChecker())
-        result = engine.run(algorithm, hypergraph, system)
-        self._results[key] = result
+        result = engine.run(algorithm, pipeline.hypergraph, system)
+        if pipeline.vertex_perm is not None:
+            result = _unpermute_result(result, pipeline.vertex_perm)
+        self._results[spec] = result
         if store_key is not None:
             self.store.put_run_result(store_key, result)
         return result
 
     def run_many(
         self,
-        specs,
+        specs: Iterable[RunSpec | tuple[Any, ...]],
         jobs: int | None = None,
         timeout: float | None = None,
         retries: int = 2,
         profile: bool = False,
         check: bool = False,
-    ):
+    ) -> dict[RunSpec, RunResult]:
         """Batch :meth:`run`: execute a whole run matrix, sharded in parallel.
 
         ``specs`` is an iterable of :class:`~repro.harness.parallel.RunSpec`
@@ -248,28 +341,30 @@ class Runner:
         attach an invariant checker and must actually execute here, not be
         assembled from worker-warmed store entries.
         """
-        from repro.harness.parallel import RunSpec, execute_runs
+        from repro.harness.parallel import execute_runs
 
         specs = [
             spec if isinstance(spec, RunSpec) else RunSpec(*spec)
             for spec in specs
         ]
         unique = list(dict.fromkeys(specs))
+        resolved = {
+            spec: spec.normalized(
+                pr_iterations=self.pr_iterations,
+                preprocessing=self.preprocessing,
+                profile=profile,
+                check=check,
+            )
+            for spec in unique
+        }
         self.last_execution_report = None
-        if check:
+        if check or any(s.check for s in resolved.values()):
             return {
-                spec: self.run(
-                    spec.engine, spec.algorithm, spec.dataset, spec.config,
-                    profile=True, check=True,
-                )
-                for spec in unique
+                spec: self._run_spec(resolved[spec]) for spec in unique
             }
-        pending = [
-            spec for spec in unique
-            if (spec.engine, spec.algorithm, spec.dataset,
-                spec.resolved_config(), self.pr_iterations, profile, False)
-            not in self._results
-        ]
+        pending = list(dict.fromkeys(
+            s for s in resolved.values() if s not in self._results
+        ))
         if self.store is not None and len(pending) > 1 and (
             jobs is None or jobs > 1
         ):
@@ -283,15 +378,8 @@ class Runner:
                 fast=self.fast,
                 w_min=self.w_min,
                 d_max=self.d_max,
-                profile=profile,
             )
-        return {
-            spec: self.run(
-                spec.engine, spec.algorithm, spec.dataset, spec.config,
-                profile=profile,
-            )
-            for spec in unique
-        }
+        return {spec: self._run_spec(resolved[spec]) for spec in unique}
 
     def speedup(
         self,

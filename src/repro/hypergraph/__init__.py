@@ -4,5 +4,22 @@ from repro.hypergraph.csr import Csr
 from repro.hypergraph.directed import DirectedHypergraph
 from repro.hypergraph.frontier import Frontier
 from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.pipeline import (
+    PipelineResult,
+    PreprocessSpec,
+    StageSpec,
+    apply_pipeline,
+    stage_names,
+)
 
-__all__ = ["Csr", "DirectedHypergraph", "Frontier", "Hypergraph"]
+__all__ = [
+    "Csr",
+    "DirectedHypergraph",
+    "Frontier",
+    "Hypergraph",
+    "PipelineResult",
+    "PreprocessSpec",
+    "StageSpec",
+    "apply_pipeline",
+    "stage_names",
+]

@@ -26,15 +26,24 @@ class Reordering:
     ``vertex_perm[old_id] = new_id``.  ``cost_accesses`` approximates the
     reordering pass's own memory traffic (it must scan every bipartite edge
     and rewrite both CSR directions), which Figure 24 charges against the
-    technique.
+    technique.  ``inverse_perm`` (``inverse_perm[new_id] = old_id``) is
+    precomputed once so :meth:`original_vertex` is O(1) per lookup.
     """
 
     hypergraph: Hypergraph
     vertex_perm: np.ndarray
     cost_accesses: int
+    inverse_perm: np.ndarray = dataclasses.field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        inverse = np.empty_like(self.vertex_perm)
+        inverse[self.vertex_perm] = np.arange(
+            len(self.vertex_perm), dtype=self.vertex_perm.dtype
+        )
+        object.__setattr__(self, "inverse_perm", inverse)
 
     def original_vertex(self, new_id: int) -> int:
-        return int(np.flatnonzero(self.vertex_perm == new_id)[0])
+        return int(self.inverse_perm[new_id])
 
 
 def apply_vertex_permutation(

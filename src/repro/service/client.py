@@ -6,7 +6,7 @@ also the scripting surface for tests and CI smoke jobs::
     from repro.service import JobRequest, ServiceClient
 
     client = ServiceClient(port=8573)
-    job = client.run(JobRequest("ChGraph", "PR", "WEB"))
+    job = client.run(JobRequest.build("ChGraph", "PR", "WEB"))
     result = client.run_result(job)          # a full RunResult
 
 Transport errors (server unreachable, connection reset) surface as
@@ -22,11 +22,14 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import JobNotFoundError, ServiceError, ServiceOverloadedError
 from repro.service.jobs import JobRequest
 from repro.service.server import DEFAULT_PORT
+
+if TYPE_CHECKING:
+    from repro.engine import RunResult
 
 __all__ = ["ServiceClient"]
 
@@ -132,7 +135,7 @@ class ServiceClient:
         return job
 
     @staticmethod
-    def run_result(job: dict[str, Any]):
+    def run_result(job: dict[str, Any]) -> "RunResult":
         """Reconstruct the full :class:`~repro.engine.result.RunResult` from
         a finished job record — the exact object ``repro run`` computes."""
         from repro.store.serialize import run_result_from_json

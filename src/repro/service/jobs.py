@@ -1,12 +1,17 @@
 """Typed job records for the simulation service.
 
-A :class:`JobRequest` names one (engine, algorithm, dataset, config)
-simulation exactly the way ``repro run`` does; its :meth:`JobRequest.store_key`
-is the PR 2 :func:`~repro.store.keys.run_result_key`, which makes the
-request *content-addressed*: two requests share a key iff a completed
-result for one could legally serve the other (same dataset content, same
-config, same pr-iterations, same profile flag).  That key is what request
-coalescing and the store-backed fast path both hang off.
+A :class:`JobRequest` wraps one :class:`~repro.harness.spec.RunSpec` —
+the same typed record ``repro run`` executes locally — plus a queue
+``priority``; its :meth:`JobRequest.store_key` is the
+:func:`~repro.store.keys.run_result_key` derived from that spec, which
+makes the request *content-addressed*: two requests share a key iff a
+completed result for one could legally serve the other (same dataset
+content, same config, same pr-iterations, same preprocessing pipeline,
+same profile/check flags).  That key is what request coalescing and the
+store-backed fast path both hang off.  Because the spec travels verbatim
+to the worker's runner, a served result is byte-identical to the same
+local run for *any* expressible configuration, including the §VI-H
+``w_min``/``d_max`` sensitivity sweeps and preprocessing stages.
 
 A :class:`JobRecord` is the service-side lifecycle of one accepted request:
 ``queued → running → done | failed``, with timestamps, retry attempts, the
@@ -21,7 +26,12 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import time
-from typing import Any
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+from repro.harness.spec import RunSpec
+from repro.hypergraph.pipeline import PreprocessSpec, StageSpec
+from repro.sim.config import SystemConfig
 
 __all__ = ["JOB_STATES", "JobRecord", "JobRequest"]
 
@@ -38,23 +48,109 @@ def _new_job_id() -> str:
     return f"job-{next(_job_counter)}-{uuid.uuid4().hex[:8]}"
 
 
+#: Flat fields the legacy (pre-RunSpec) wire format and :meth:`JobRequest.build`
+#: accept; ``w_min``/``d_max``/``check``/``stages`` are newly expressible.
+_FLAT_FIELDS = (
+    "engine", "algorithm", "dataset", "cores", "llc_kb", "pr_iterations",
+    "profile", "check", "w_min", "d_max", "stages", "priority",
+)
+
+
 @dataclasses.dataclass(frozen=True)
 class JobRequest:
-    """One requested simulation: the service-side twin of ``repro run``.
+    """One requested simulation: a :class:`~repro.harness.spec.RunSpec`
+    plus a queue ``priority`` (higher runs sooner).
 
-    ``priority`` orders the queue (higher runs sooner); everything else
-    feeds :class:`~repro.harness.runner.Runner.run` unchanged, so a served
-    result is the same object a local run would produce.
+    The spec is carried fully normalized (no ``None`` fields), so the
+    request's store key, the worker's execution, and an equivalent local
+    ``repro run`` all agree regardless of either process's environment.
     """
 
-    engine: str
-    algorithm: str
-    dataset: str
-    cores: int = 16
-    llc_kb: int = 4
-    pr_iterations: int = 2
-    profile: bool = False
+    spec: RunSpec
     priority: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        engine: str,
+        algorithm: str,
+        dataset: str,
+        cores: int = 16,
+        llc_kb: int = 4,
+        pr_iterations: int = 2,
+        profile: bool = False,
+        check: bool = False,
+        w_min: int | None = None,
+        d_max: int | None = None,
+        stages: Sequence[str] = (),
+        priority: int = 0,
+    ) -> "JobRequest":
+        """Construct a request from ``repro submit``-style flat fields.
+
+        Raises ``ValueError`` on malformed values (the service maps that to
+        an HTTP 400); name validity is checked by :meth:`validate`.
+        """
+        from repro.sim.config import scaled_config
+
+        checks = [
+            ("cores", cores, 1), ("llc_kb", llc_kb, 1),
+            ("pr_iterations", pr_iterations, 1),
+        ]
+        if w_min is not None:
+            checks.append(("w_min", w_min, 1))
+        if d_max is not None:
+            checks.append(("d_max", d_max, 1))
+        for field, value, minimum in checks:
+            if not isinstance(value, int) or value < minimum:
+                raise ValueError(
+                    f"{field} must be an int >= {minimum}, got {value!r}"
+                )
+        for field, value in (("profile", profile), ("check", check)):
+            if not isinstance(value, bool):
+                raise ValueError(f"{field} must be a bool, got {value!r}")
+        if isinstance(stages, str) or not all(
+            isinstance(name, str) for name in stages
+        ):
+            raise ValueError(f"stages must be a list of names, got {stages!r}")
+        defaults = PreprocessSpec()
+        preprocessing = PreprocessSpec(
+            w_min=defaults.w_min if w_min is None else w_min,
+            d_max=defaults.d_max if d_max is None else d_max,
+            stages=tuple(StageSpec.make(name) for name in stages),
+        )
+        spec = RunSpec(
+            engine=engine,
+            algorithm=algorithm,
+            dataset=dataset,
+            config=scaled_config(num_cores=cores, llc_kb=llc_kb),
+            pr_iterations=pr_iterations,
+            profile=profile or check,
+            check=check,
+            preprocessing=preprocessing,
+        )
+        return cls(spec=spec, priority=priority)
+
+    # -- flat accessors (the pre-RunSpec field names, kept for callers) ------
+
+    @property
+    def engine(self) -> str:
+        return self.spec.engine
+
+    @property
+    def algorithm(self) -> str:
+        return self.spec.algorithm
+
+    @property
+    def dataset(self) -> str:
+        return self.spec.dataset
+
+    @property
+    def pr_iterations(self) -> int:
+        return self.spec.pr_iterations if self.spec.pr_iterations else 2
+
+    @property
+    def profile(self) -> bool:
+        return self.spec.profile
 
     def validate(self) -> None:
         """Raise ``ValueError`` unless every field names something real."""
@@ -62,71 +158,91 @@ class JobRequest:
         from repro.harness.runner import ALGORITHM_NAMES
         from repro.hypergraph.generators import PAPER_DATASETS
 
-        if self.engine not in engine_names():
-            raise ValueError(f"unknown engine {self.engine!r}")
-        if self.algorithm not in ALGORITHM_NAMES:
-            raise ValueError(f"unknown algorithm {self.algorithm!r}")
-        if self.dataset not in (*PAPER_DATASETS, "AZ", "PK"):
-            raise ValueError(f"unknown dataset {self.dataset!r}")
-        for field, minimum in (("cores", 1), ("llc_kb", 1), ("pr_iterations", 1)):
-            value = getattr(self, field)
-            if not isinstance(value, int) or value < minimum:
-                raise ValueError(f"{field} must be an int >= {minimum}, got {value!r}")
+        try:
+            self.spec.validate()
+        except ReproError as exc:
+            raise ValueError(str(exc)) from None
+        if self.spec.engine not in engine_names():
+            raise ValueError(f"unknown engine {self.spec.engine!r}")
+        if self.spec.algorithm not in ALGORITHM_NAMES:
+            raise ValueError(f"unknown algorithm {self.spec.algorithm!r}")
+        if self.spec.dataset not in (*PAPER_DATASETS, "AZ", "PK"):
+            raise ValueError(f"unknown dataset {self.spec.dataset!r}")
+        if self.spec.pr_iterations is None:
+            raise ValueError("job spec must carry concrete pr_iterations")
         if not isinstance(self.priority, int):
             raise ValueError(f"priority must be an int, got {self.priority!r}")
-        if not isinstance(self.profile, bool):
-            raise ValueError(f"profile must be a bool, got {self.profile!r}")
 
-    def config(self):
+    def config(self) -> SystemConfig:
         """The :class:`~repro.sim.config.SystemConfig` this request runs under."""
-        from repro.sim.config import scaled_config
-
-        return scaled_config(num_cores=self.cores, llc_kb=self.llc_kb)
+        return self.spec.resolved_config()
 
     def store_key(self) -> str:
         """The content-addressed :func:`~repro.store.keys.run_result_key`.
 
         Loads (or generates) the dataset to hash its structure — cached
         across calls by the harness dataset layer, so only the first
-        request for a dataset pays the materialization.
+        request for a dataset pays the materialization.  The key hashes
+        the dataset *as loaded*; the preprocessing stage list enters via
+        the spec, so keying a request never runs its pipeline.
         """
         from repro.harness.datasets import graph_dataset, hypergraph_dataset
         from repro.store.keys import run_result_key
 
-        if self.dataset in ("AZ", "PK"):
-            hypergraph = graph_dataset(self.dataset)
+        if self.spec.dataset in ("AZ", "PK"):
+            hypergraph = graph_dataset(self.spec.dataset)
         else:
-            hypergraph = hypergraph_dataset(self.dataset)
-        return run_result_key(
-            self.engine,
-            self.algorithm,
-            hypergraph.content_hash(),
-            self.config(),
-            self.pr_iterations,
-            profile=self.profile,
-        )
+            hypergraph = hypergraph_dataset(self.spec.dataset)
+        return run_result_key(self.spec, hypergraph.content_hash())
 
     def label(self) -> str:
         """Short human-readable tag for logs and stats lines."""
-        return f"{self.engine}/{self.algorithm}/{self.dataset}"
+        return self.spec.label()
 
     def to_json(self) -> dict[str, Any]:
-        """Plain-dict form for the HTTP API."""
-        return dataclasses.asdict(self)
+        """Plain-dict form for the HTTP API (the spec-wrapping wire format)."""
+        return {"spec": self.spec.to_json(), "priority": self.priority}
 
     @classmethod
     def from_json(cls, obj: Any) -> "JobRequest":
-        """Parse and validate a request payload; ``ValueError`` on junk."""
+        """Parse and validate a request payload; ``ValueError`` on junk.
+
+        Accepts both wire formats: the spec-wrapping form
+        (``{"spec": {...}, "priority": n}``) and the legacy flat form
+        (``{"engine": ..., "cores": ..., ...}``) older clients send.
+        """
         if not isinstance(obj, dict):
             raise ValueError("job request must be a JSON object")
-        fields = {field.name for field in dataclasses.fields(cls)}
-        unknown = sorted(set(obj) - fields)
-        if unknown:
-            raise ValueError(f"unknown job request field(s): {', '.join(unknown)}")
-        for required in ("engine", "algorithm", "dataset"):
-            if required not in obj:
-                raise ValueError(f"job request is missing {required!r}")
-        request = cls(**obj)
+        if "spec" in obj:
+            unknown = sorted(set(obj) - {"spec", "priority"})
+            if unknown:
+                raise ValueError(
+                    f"unknown job request field(s): {', '.join(unknown)}"
+                )
+            try:
+                spec = RunSpec.from_json(obj["spec"])
+            except ReproError as exc:
+                raise ValueError(str(exc)) from None
+            # Normalize service-side with the environment-independent
+            # defaults so the coalescing key and the worker agree.
+            try:
+                spec = spec.normalized()
+            except ReproError as exc:
+                raise ValueError(str(exc)) from None
+            request = cls(spec=spec, priority=obj.get("priority", 0))
+        else:
+            unknown = sorted(set(obj) - set(_FLAT_FIELDS))
+            if unknown:
+                raise ValueError(
+                    f"unknown job request field(s): {', '.join(unknown)}"
+                )
+            for required in ("engine", "algorithm", "dataset"):
+                if required not in obj:
+                    raise ValueError(f"job request is missing {required!r}")
+            try:
+                request = cls.build(**obj)
+            except ReproError as exc:
+                raise ValueError(str(exc)) from None
         request.validate()
         return request
 

@@ -82,7 +82,9 @@ class _JobTimeout(Exception):
     """Raised inside a worker when a job exceeds its SIGALRM budget."""
 
 
-def _run_with_timeout(runner: Any, request: JobRequest, timeout: float | None):
+def _run_with_timeout(
+    runner: Any, request: JobRequest, timeout: float | None
+) -> Any:
     """Execute one request on ``runner``, under SIGALRM when possible.
 
     The alarm needs a process main thread; the inline-fallback path (which
@@ -96,10 +98,7 @@ def _run_with_timeout(runner: Any, request: JobRequest, timeout: float | None):
         and threading.current_thread() is threading.main_thread()
     )
     if not use_alarm:
-        return runner.run(
-            request.engine, request.algorithm, request.dataset,
-            request.config(), profile=request.profile,
-        )
+        return runner.run(request.spec)
 
     def _on_alarm(signum: int, frame: Any) -> None:
         raise _JobTimeout(f"job exceeded {timeout}s")
@@ -107,10 +106,7 @@ def _run_with_timeout(runner: Any, request: JobRequest, timeout: float | None):
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        return runner.run(
-            request.engine, request.algorithm, request.dataset,
-            request.config(), profile=request.profile,
-        )
+        return runner.run(request.spec)
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -127,16 +123,12 @@ def _execute_group(payload: _GroupPayload) -> list[dict[str, Any]]:
     from repro.harness.runner import Runner
     from repro.store.serialize import run_result_to_json
 
-    runners: dict[int, Any] = {}
+    # One runner serves the whole group: every spec carries its own
+    # pr_iterations/preprocessing, so nothing varies per job but the spec.
+    runner = Runner(cache_dir=payload.cache_dir)
     reports: list[dict[str, Any]] = []
     for unit in payload.jobs:
         request = unit.request
-        runner = runners.get(request.pr_iterations)
-        if runner is None:
-            runner = runners[request.pr_iterations] = Runner(
-                pr_iterations=request.pr_iterations,
-                cache_dir=payload.cache_dir,
-            )
         start = time.perf_counter()
         try:
             result = _run_with_timeout(runner, request, payload.timeout)
@@ -200,16 +192,13 @@ class Scheduler:
     def _plan_groups(self, records: list[JobRecord]) -> list[list[JobRecord]]:
         """Group a batch by the PR 3 preprocessing-sharing key, largest
         group first (the LPT-style ordering ``plan_shards`` uses)."""
-        from repro.harness.parallel import RunSpec, resource_group
+        from repro.harness.parallel import resource_group
 
-        groups: dict[tuple[str, int | None], list[JobRecord]] = {}
+        groups: dict[Any, list[JobRecord]] = {}
         for record in records:
-            request = record.request
-            spec = RunSpec(
-                request.engine, request.algorithm, request.dataset,
-                request.config(),
-            )
-            groups.setdefault(resource_group(spec), []).append(record)
+            groups.setdefault(
+                resource_group(record.request.spec), []
+            ).append(record)
         return [
             members
             for _, members in sorted(
@@ -280,7 +269,15 @@ class Scheduler:
     async def _handle_batch(self, batch: list[JobRecord]) -> None:
         compute: list[JobRecord] = []
         for record in batch:
-            hit = self._store_lookup(record.key)
+            # Checked runs must re-execute the simulation under the
+            # invariant checker — never answer them from the store (their
+            # keys are distinct anyway, and checked results are never
+            # persisted; this makes the contract explicit).
+            hit = (
+                None
+                if record.request.spec.check
+                else self._store_lookup(record.key)
+            )
             if hit is not None:
                 self.metrics.store_hits += 1
                 await self.queue.complete(record, hit, "store")

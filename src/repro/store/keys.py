@@ -2,10 +2,16 @@
 
 Every artifact in the store is addressed by a stable hash of *what produced
 it*, never by dataset name: the hypergraph payload (both bipartite CSR
-directions, byte-exact), the preprocessing parameters (``num_cores``,
-``w_min``, ``d_max``), and a schema version.  Renaming a dataset keeps its
-cache entries valid; regenerating it with different structure invalidates
-them automatically.
+directions, byte-exact), the preprocessing record (``w_min``, ``d_max``,
+and the ordered stage list of the
+:class:`~repro.hypergraph.pipeline.PreprocessSpec`), and a schema version.
+Renaming a dataset keeps its cache entries valid; regenerating it with
+different structure invalidates them automatically.
+
+This module is the **only** place key components are concatenated:
+``resources_key`` and ``run_result_key`` both derive from a spec here, so
+the CLI, runner, parallel executor, and service can never disagree about
+what key one simulation hashes to.
 
 ``fast`` is deliberately *not* part of any key: the vectorized and scalar
 builders are parity-tested to produce bit-identical artifacts
@@ -18,8 +24,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.hypergraph.pipeline import PreprocessSpec
+
+if TYPE_CHECKING:  # imported lazily to avoid a store <-> harness cycle
+    from repro.harness.spec import RunSpec
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -38,7 +50,12 @@ __all__ = [
 #: v3: ``RunResult`` payloads carry DRAM write traffic
 #: (``dram_writebacks`` and the per-array breakdown) now that the
 #: hierarchy drains dirty evictions to memory instead of dropping them.
-STORE_SCHEMA_VERSION = 3
+#:
+#: v4: both keys derive from a ``RunSpec``/``PreprocessSpec`` and hash the
+#: full preprocessing record (``w_min``/``d_max``/stage list) — run keys
+#: previously ignored ``w_min``/``d_max`` entirely, so runs under
+#: non-default OAG parameters could alias default entries.
+STORE_SCHEMA_VERSION = 4
 
 
 def _hash_arrays(h: "hashlib._Hash", *arrays: np.ndarray) -> None:
@@ -71,40 +88,65 @@ def hypergraph_content_hash(hypergraph) -> str:
     return h.hexdigest()
 
 
+def _preprocess_token(preprocessing: PreprocessSpec | None) -> str:
+    """Canonical string form of a preprocessing record for key hashing.
+
+    Uses the sorted-key JSON dump of the spec's canonical serialization so
+    stage order is preserved but parameter order is not significant.
+    """
+    if preprocessing is None:
+        preprocessing = PreprocessSpec()
+    return json.dumps(preprocessing.to_json(), sort_keys=True)
+
+
 def resources_key(
-    content_hash: str, num_cores: int, w_min: int, d_max: int
+    content_hash: str,
+    num_cores: int,
+    preprocessing: PreprocessSpec | None = None,
 ) -> str:
     """Store key for the :class:`~repro.engine.resources.GlaResources` built
-    from the hypergraph with ``content_hash`` under the given parameters."""
+    from the hypergraph with ``content_hash`` under the given preprocessing
+    record (``None`` means the default :class:`PreprocessSpec`)."""
     h = hashlib.sha256(b"repro/resources/")
     h.update(
         f"v{STORE_SCHEMA_VERSION}:{content_hash}:"
-        f"cores={num_cores}:w_min={w_min}:d_max={d_max}".encode()
+        f"cores={num_cores}:".encode()
     )
+    h.update(_preprocess_token(preprocessing).encode())
     return h.hexdigest()[:32]
 
 
-def run_result_key(
-    engine: str,
-    algorithm: str,
-    dataset_hash: str,
-    config,
-    pr_iterations: int,
-    profile: bool = False,
-) -> str:
-    """Store key for one memoized simulation run.
+def run_result_key(spec: "RunSpec", dataset_hash: str) -> str:
+    """Store key for one memoized simulation run, derived from its
+    :class:`~repro.harness.spec.RunSpec`.
 
-    ``config`` is a frozen :class:`~repro.sim.config.SystemConfig`; its full
-    field set is hashed (via a sorted-key JSON dump) so modified copies get
-    distinct entries, mirroring the in-process memo.  ``profile`` is part of
-    the key: a profiled run carries telemetry a plain entry lacks, so the
-    two must not serve each other's lookups.
+    ``dataset_hash`` is the content hash of the dataset *as loaded* —
+    before any preprocessing stage runs — so callers (notably the service's
+    coalescing layer) can key a run without executing its pipeline; the
+    stage list is hashed in via the preprocessing token instead.  The
+    spec's full resolved config is hashed (via a sorted-key JSON dump) so
+    modified copies get distinct entries, mirroring the in-process memo.
+    ``profile`` is part of the key (a profiled run carries telemetry a
+    plain entry lacks) and so is ``check``: a checked run re-executes the
+    simulation under the invariant checker and must never be answered by —
+    or coalesced onto — an unchecked entry.
     """
-    config_json = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    if spec.pr_iterations is None:
+        raise ValueError(
+            "run_result_key needs a spec with concrete pr_iterations; "
+            "call RunSpec.normalized() first"
+        )
+    config_json = json.dumps(
+        dataclasses.asdict(spec.resolved_config()), sort_keys=True
+    )
+    profile = spec.profile or spec.check
     h = hashlib.sha256(b"repro/run/")
     h.update(
-        f"v{STORE_SCHEMA_VERSION}:{engine}:{algorithm}:{dataset_hash}:"
-        f"pr={pr_iterations}:profile={int(profile)}:".encode()
+        f"v{STORE_SCHEMA_VERSION}:{spec.engine}:{spec.algorithm}:"
+        f"{dataset_hash}:pr={spec.pr_iterations}:"
+        f"profile={int(profile)}:check={int(spec.check)}:".encode()
     )
+    h.update(_preprocess_token(spec.resolved_preprocessing()).encode())
+    h.update(b":")
     h.update(config_json.encode())
     return h.hexdigest()[:32]

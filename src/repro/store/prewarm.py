@@ -20,6 +20,7 @@ from repro.core.chain import DEFAULT_D_MAX
 from repro.core.oag import DEFAULT_W_MIN
 from repro.engine.resources import GlaResources
 from repro.harness.datasets import GRAPH_DATASETS, graph_dataset, hypergraph_dataset
+from repro.hypergraph.pipeline import PreprocessSpec
 from repro.store.keys import hypergraph_content_hash, resources_key
 from repro.store.pool import run_tasks
 from repro.store.store import ArtifactStore
@@ -77,17 +78,17 @@ def _run_job(payload: tuple[str, PrewarmJob, bool]) -> PrewarmReport:
     store_dir, job, fast = payload
     store = ArtifactStore(store_dir)
     hypergraph = _resolve_dataset(job.dataset)
+    preprocessing = PreprocessSpec(w_min=job.w_min, d_max=job.d_max)
     key = resources_key(
-        hypergraph_content_hash(hypergraph), job.num_cores, job.w_min, job.d_max
+        hypergraph_content_hash(hypergraph), job.num_cores, preprocessing
     )
     start = time.perf_counter()
     GlaResources.build_or_load(
         hypergraph,
         job.num_cores,
-        w_min=job.w_min,
-        d_max=job.d_max,
         fast=fast,
         store=store,
+        preprocessing=preprocessing,
     )
     built = store.stats.writes > 0
     path = store._payload_path("resources", key)

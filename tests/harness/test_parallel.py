@@ -29,10 +29,25 @@ def _specs(engines=("Hygra", "ChGraph"), apps=("BFS",), datasets=("FS",)):
 
 
 def test_resource_group_keys_on_artifact_identity():
-    assert resource_group(RunSpec("ChGraph", "PR", "WEB", SMALL)) == ("WEB", 4)
-    assert resource_group(RunSpec("GLA", "BFS", "WEB", SMALL)) == ("WEB", 4)
-    # Engines without GlaResources group only by dataset.
-    assert resource_group(RunSpec("Hygra", "PR", "WEB", SMALL)) == ("WEB", None)
+    from repro.hypergraph.pipeline import PreprocessSpec
+
+    default = PreprocessSpec()
+    assert resource_group(RunSpec("ChGraph", "PR", "WEB", SMALL)) == \
+        ("WEB", 4, default)
+    assert resource_group(RunSpec("GLA", "BFS", "WEB", SMALL)) == \
+        ("WEB", 4, default)
+    # Engines without GlaResources group only by dataset (and pipeline).
+    assert resource_group(RunSpec("Hygra", "PR", "WEB", SMALL)) == \
+        ("WEB", None, default)
+    # Sweep points with different OAG parameters must not share a shard's
+    # GlaResources artifact.
+    sweep = RunSpec(
+        "ChGraph", "PR", "WEB", SMALL, preprocessing=PreprocessSpec(w_min=9)
+    )
+    assert resource_group(sweep) == ("WEB", 4, PreprocessSpec(w_min=9))
+    assert resource_group(sweep) != resource_group(
+        RunSpec("ChGraph", "PR", "WEB", SMALL)
+    )
 
 
 def test_plan_shards_is_deterministic_and_complete():

@@ -1,0 +1,127 @@
+"""The preprocessing-stage registry and pipeline composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hypergraph.pipeline import (
+    PreprocessSpec,
+    StageSpec,
+    apply_pipeline,
+    stage_names,
+)
+
+
+class TestStageSpec:
+    def test_make_sorts_params_canonically(self):
+        a = StageSpec.make("identity", b=2, a=1)
+        b = StageSpec.make("identity", a=1, b=2)
+        assert a == b
+        assert a.params == (("a", 1), ("b", 2))
+
+    def test_unknown_stage_rejected_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="no-such-stage"):
+            StageSpec.make("no-such-stage").validate()
+        with pytest.raises(ConfigurationError, match="locality-reorder"):
+            StageSpec.make("no-such-stage").validate()
+
+    def test_json_round_trip(self):
+        spec = StageSpec.make("identity")
+        assert StageSpec.from_json(spec.to_json()) == spec
+
+    def test_json_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="turbo"):
+            StageSpec.from_json({"name": "identity", "turbo": True})
+
+
+class TestPreprocessSpec:
+    def test_defaults_match_oag_and_chain(self):
+        from repro.core.chain import DEFAULT_D_MAX
+        from repro.core.oag import DEFAULT_W_MIN
+
+        spec = PreprocessSpec()
+        assert spec.w_min == DEFAULT_W_MIN
+        assert spec.d_max == DEFAULT_D_MAX
+        assert spec.stages == ()
+
+    def test_json_round_trip_with_stages(self):
+        spec = PreprocessSpec(
+            w_min=5, d_max=8,
+            stages=(StageSpec.make("locality-reorder"),
+                    StageSpec.make("identity")),
+        )
+        assert PreprocessSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("overrides", [{"w_min": 0}, {"d_max": -1}])
+    def test_bad_parameters_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            PreprocessSpec(**overrides).validate()
+
+    def test_unknown_stage_in_list_rejected(self):
+        spec = PreprocessSpec(stages=(StageSpec("bogus"),))
+        with pytest.raises(ConfigurationError, match="bogus"):
+            spec.validate()
+
+
+class TestRegistry:
+    def test_builtin_stages_registered(self):
+        names = stage_names()
+        assert "identity" in names
+        assert "locality-reorder" in names
+        assert names == tuple(sorted(names))
+
+
+class TestApplyPipeline:
+    def test_empty_pipeline_is_the_input(self, small_hypergraph):
+        result = apply_pipeline(small_hypergraph, PreprocessSpec())
+        assert result.hypergraph is small_hypergraph
+        assert result.vertex_perm is None
+        assert result.cost_accesses == 0
+
+    def test_identity_stage_is_free(self, small_hypergraph):
+        spec = PreprocessSpec(stages=(StageSpec.make("identity"),))
+        result = apply_pipeline(small_hypergraph, spec)
+        assert result.hypergraph is small_hypergraph
+        assert result.vertex_perm is None
+        assert result.cost_accesses == 0
+
+    def test_locality_reorder_matches_direct_call(self, small_hypergraph):
+        from repro.hypergraph.reorder import locality_reorder
+
+        spec = PreprocessSpec(stages=(StageSpec.make("locality-reorder"),))
+        result = apply_pipeline(small_hypergraph, spec)
+        direct = locality_reorder(small_hypergraph)
+        assert np.array_equal(result.vertex_perm, direct.vertex_perm)
+        assert result.cost_accesses == direct.cost_accesses
+        assert result.hypergraph.hyperedges == direct.hypergraph.hyperedges
+
+    def test_permutations_compose_across_stages(self, small_hypergraph):
+        """Running the reorder twice must compose old->new in one gather."""
+        spec = PreprocessSpec(
+            stages=(StageSpec.make("locality-reorder"),) * 2
+        )
+        result = apply_pipeline(small_hypergraph, spec)
+        n = small_hypergraph.num_vertices
+        perm = result.vertex_perm
+        assert sorted(perm) == list(range(n))
+        # Composed permutation maps each original vertex's degree onto the
+        # final hypergraph's degree at its new id.
+        for old in range(n):
+            assert small_hypergraph.vertex_degree(old) == \
+                result.hypergraph.vertex_degree(int(perm[old]))
+
+    def test_stage_params_rejected_for_parameterless_stage(
+        self, small_hypergraph
+    ):
+        spec = PreprocessSpec(
+            stages=(StageSpec.make("identity", level=3),)
+        )
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            apply_pipeline(small_hypergraph, spec)
+
+    def test_unknown_stage_raises_before_running(self, small_hypergraph):
+        spec = PreprocessSpec(stages=(StageSpec("bogus"),))
+        with pytest.raises(ConfigurationError, match="bogus"):
+            apply_pipeline(small_hypergraph, spec)

@@ -66,6 +66,18 @@ def test_original_vertex_inverts(small_hypergraph):
         assert int(reordering.vertex_perm[old]) == new_id
 
 
+def test_inverse_perm_round_trips_every_vertex(small_hypergraph):
+    """The precomputed inverse is a full round trip in both directions."""
+    reordering = locality_reorder(small_hypergraph)
+    perm = reordering.vertex_perm
+    inverse = reordering.inverse_perm
+    n = small_hypergraph.num_vertices
+    assert np.array_equal(inverse[perm], np.arange(n))
+    assert np.array_equal(perm[inverse], np.arange(n))
+    for new_id in range(n):
+        assert reordering.original_vertex(new_id) == int(inverse[new_id])
+
+
 def test_apply_identity_permutation(figure1):
     identity = np.arange(figure1.num_vertices)
     renamed = apply_vertex_permutation(figure1, identity)

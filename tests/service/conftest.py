@@ -29,7 +29,7 @@ SMALL = dict(
 
 def small_request(**overrides) -> JobRequest:
     """A fast-to-simulate request, tweakable per test."""
-    return JobRequest(**{**SMALL, **overrides})
+    return JobRequest.build(**{**SMALL, **overrides})
 
 
 @pytest.fixture

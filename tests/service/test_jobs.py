@@ -40,7 +40,7 @@ class TestJobRequestJson:
         request = JobRequest.from_json(
             {"engine": "Hygra", "algorithm": "BFS", "dataset": "FS"}
         )
-        assert request.cores == 16
+        assert request.config().num_cores == 16
         assert request.pr_iterations == 2
         assert request.priority == 0
 
@@ -63,21 +63,21 @@ class TestJobRequestJson:
 
 class TestStoreKey:
     def test_matches_runner_key(self):
-        """The service key IS the PR 2 run_result_key — the property both
-        coalescing and the store fast path rest on."""
+        """The service key IS the run_result_key of the equivalent local
+        spec — the property both coalescing and the store fast path rest
+        on, now for *any* expressible configuration."""
         from repro.harness.datasets import hypergraph_dataset
+        from repro.harness.spec import RunSpec
+        from repro.sim.config import scaled_config
         from repro.store.keys import run_result_key
 
-        request = small_request()
-        expected = run_result_key(
-            request.engine,
-            request.algorithm,
-            hypergraph_dataset("FS").content_hash(),
-            request.config(),
-            request.pr_iterations,
-            profile=False,
-        )
-        assert request.store_key() == expected
+        local = RunSpec(
+            "Hygra", "BFS", "FS",
+            config=scaled_config(num_cores=4, llc_kb=2),
+            pr_iterations=1,
+        ).normalized()
+        expected = run_result_key(local, hypergraph_dataset("FS").content_hash())
+        assert small_request().store_key() == expected
 
     def test_key_ignores_priority(self):
         # Priority affects scheduling order, not the result — requests that
@@ -89,6 +89,15 @@ class TestStoreKey:
         base = small_request().store_key()
         assert small_request(cores=8).store_key() != base
         assert small_request(profile=True).store_key() != base
+
+    def test_key_distinguishes_preprocessing(self):
+        # The v4 keys fix the latent aliasing: sweeps and staged runs were
+        # previously indistinguishable from default runs.
+        base = small_request().store_key()
+        assert small_request(w_min=5).store_key() != base
+        assert small_request(d_max=8).store_key() != base
+        assert small_request(stages=["locality-reorder"]).store_key() != base
+        assert small_request(check=True).store_key() != base
 
 
 class TestJobRecord:

@@ -68,6 +68,39 @@ class TestStoreFastPathEndToEnd:
         assert stats["store_hit_ratio"] == pytest.approx(0.5)
 
 
+class TestSpecFidelityEndToEnd:
+    def test_non_default_preprocessing_round_trips_byte_identical(
+        self, make_service
+    ):
+        """A job carrying non-default ``w_min``/``d_max`` and a pipeline
+        stage executes through the service and returns exactly what the
+        equivalent local ``repro run`` computes — the spec travels to the
+        worker verbatim, so no field is silently dropped on the wire."""
+        from repro.harness.runner import Runner
+        from repro.service.client import ServiceClient
+        from repro.store.serialize import run_result_to_json
+
+        request = small_request(
+            w_min=5, d_max=8, stages=["locality-reorder"]
+        )
+        service, client = make_service()
+        job = client.run(request, timeout=120)
+        served = ServiceClient.run_result(job)
+
+        local = Runner(cache_dir=None).run(request.spec)
+        assert run_result_to_json(served) == run_result_to_json(local)
+
+    def test_spec_wire_format_round_trips_the_request(self, make_service):
+        """What /jobs echoes back parses to the submitted request."""
+        from repro.service.jobs import JobRequest
+
+        request = small_request(w_min=5, stages=["identity"], priority=2)
+        service, client = make_service()
+        job = client.submit(request)
+        assert JobRequest.from_json(job["request"]) == request
+        client.wait(job["job_id"], timeout=120)
+
+
 class TestAdmissionEndToEnd:
     def test_full_queue_rejects_with_retryable_429(self, make_service):
         service, client = make_service(max_depth=0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.sim.config import scaled_config
 from repro.store import (
@@ -41,40 +43,85 @@ def test_content_hash_tracks_structure():
     assert base.content_hash() != padded.content_hash()
 
 
+def _spec(**overrides):
+    from repro.harness.spec import RunSpec
+
+    fields = dict(
+        engine="ChGraph", algorithm="PR", dataset="WEB",
+        config=scaled_config(), pr_iterations=2,
+    )
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
 def test_resources_key_covers_every_parameter(figure1):
+    from repro.hypergraph.pipeline import PreprocessSpec, StageSpec
+
     h = figure1.content_hash()
-    baseline = resources_key(h, 4, 3, 16)
-    assert baseline == resources_key(h, 4, 3, 16)
-    assert baseline != resources_key(h, 8, 3, 16)
-    assert baseline != resources_key(h, 4, 5, 16)
-    assert baseline != resources_key(h, 4, 3, 32)
-    assert baseline != resources_key("0" * 64, 4, 3, 16)
+    pre = PreprocessSpec(w_min=3, d_max=16)
+    baseline = resources_key(h, 4, pre)
+    assert baseline == resources_key(h, 4, pre)
+    assert baseline != resources_key(h, 8, pre)
+    assert baseline != resources_key(h, 4, PreprocessSpec(w_min=5, d_max=16))
+    assert baseline != resources_key(h, 4, PreprocessSpec(w_min=3, d_max=32))
+    assert baseline != resources_key(
+        h, 4, PreprocessSpec(3, 16, (StageSpec.make("identity"),))
+    )
+    assert baseline != resources_key("0" * 64, 4, pre)
+    # ``None`` means the default record, and hashes identically to it.
+    assert resources_key(h, 4) == resources_key(h, 4, PreprocessSpec())
 
 
 def test_run_result_key_covers_config_and_iterations(figure1):
     h = figure1.content_hash()
-    config = scaled_config()
-    base = run_result_key("ChGraph", "PR", h, config, 2)
-    assert base == run_result_key("ChGraph", "PR", h, config, 2)
-    assert base != run_result_key("Hygra", "PR", h, config, 2)
-    assert base != run_result_key("ChGraph", "BFS", h, config, 2)
-    assert base != run_result_key("ChGraph", "PR", h, config, 10)
+    base = run_result_key(_spec(), h)
+    assert base == run_result_key(_spec(), h)
+    assert base != run_result_key(_spec(engine="Hygra"), h)
+    assert base != run_result_key(_spec(algorithm="BFS"), h)
+    assert base != run_result_key(_spec(pr_iterations=10), h)
+    assert base != run_result_key(_spec(config=scaled_config(num_cores=4)), h)
+    assert base != run_result_key(_spec(), "0" * 64)
+
+
+def test_run_result_key_covers_preprocessing_and_check(figure1):
+    """v4 closes the aliasing hole: non-default OAG parameters, pipeline
+    stages, and checked runs all get distinct entries."""
+    from repro.hypergraph.pipeline import PreprocessSpec, StageSpec
+
+    h = figure1.content_hash()
+    base = run_result_key(_spec(), h)
     assert base != run_result_key(
-        "ChGraph", "PR", h, scaled_config(num_cores=4), 2
+        _spec(preprocessing=PreprocessSpec(w_min=5)), h
     )
+    assert base != run_result_key(
+        _spec(preprocessing=PreprocessSpec(d_max=8)), h
+    )
+    assert base != run_result_key(
+        _spec(preprocessing=PreprocessSpec(
+            stages=(StageSpec.make("locality-reorder"),)
+        )), h,
+    )
+    assert base != run_result_key(_spec(check=True, profile=True), h)
+    # An explicit default record hashes like the implicit one.
+    assert base == run_result_key(_spec(preprocessing=PreprocessSpec()), h)
 
 
 def test_run_result_key_separates_profiled_runs(figure1):
     """A profiled run carries telemetry the plain run lacks; the store must
     never hand one out for the other."""
     h = figure1.content_hash()
-    config = scaled_config()
-    plain = run_result_key("ChGraph", "PR", h, config, 2)
-    profiled = run_result_key("ChGraph", "PR", h, config, 2, profile=True)
+    plain = run_result_key(_spec(), h)
+    profiled = run_result_key(_spec(profile=True), h)
     assert plain != profiled
-    assert plain == run_result_key("ChGraph", "PR", h, config, 2, profile=False)
+    assert plain == run_result_key(_spec(profile=False), h)
 
 
-def test_schema_version_bumped_for_write_traffic():
-    """v3 added DRAM write traffic to serialized run results."""
-    assert STORE_SCHEMA_VERSION == 3
+def test_run_result_key_requires_normalized_iterations(figure1):
+    with pytest.raises(ValueError, match="pr_iterations"):
+        run_result_key(_spec(pr_iterations=None), figure1.content_hash())
+
+
+def test_schema_version_bumped_for_spec_keys():
+    """v4: both store keys derive from RunSpec/PreprocessSpec and hash the
+    full preprocessing record (v3 added DRAM write traffic)."""
+    assert STORE_SCHEMA_VERSION == 4
