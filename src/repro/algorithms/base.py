@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Any
+import functools
+from typing import Any, Callable
 
 import numpy as np
 
@@ -83,6 +84,23 @@ class HypergraphAlgorithm(abc.ABC):
 
         Returns True when ``v`` should join the vertex frontier.
         """
+
+    def phase_apply(
+        self, state: AlgorithmState, hypergraph: Hypergraph, phase: str
+    ) -> Callable[[int, int], bool]:
+        """A per-phase bound form of the phase's update function.
+
+        Engines call this once per phase (never per chunk) and then invoke
+        the returned ``apply(src, dst) -> bool`` once per bipartite edge —
+        the hot call of every inner loop.  The default binds ``state`` and
+        ``hypergraph`` into :meth:`apply_hf`/:meth:`apply_vf` unchanged;
+        algorithms may override it to return a closure over cheaper private
+        state (plain-list mirrors of the numpy value arrays), provided they
+        reconcile that state in :meth:`end_phase` so the update arithmetic
+        stays bit-identical to the per-call methods.
+        """
+        fn = self.apply_hf if phase == PHASE_HYPEREDGE else self.apply_vf
+        return functools.partial(fn, state, hypergraph)
 
     # -- lifecycle hooks (default no-ops) -----------------------------------
 

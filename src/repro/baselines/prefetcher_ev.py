@@ -40,9 +40,11 @@ class EventPrefetcherEngine(ExecutionEngine):
         hierarchy = system.hierarchy
         if hierarchy is not None:
             self._engine_access = hierarchy.engine_access
+            self._engine_access_block = hierarchy.engine_access_block
             self._dram_counter = hierarchy.dram
         else:
             self._engine_access = lambda core, array, index: 0
+            self._engine_access_block = lambda core, array, start, count: 0
             self._dram_counter = None
 
     def _run_phase(
@@ -58,13 +60,12 @@ class EventPrefetcherEngine(ExecutionEngine):
     ) -> None:
         config = system.config
         csr = hypergraph.side(spec.src_side)
-        offsets = csr.offsets
-        indices = csr.indices
-        apply_fn = (
-            algorithm.apply_hf if spec.phase == "hyperedge" else algorithm.apply_vf
-        )
+        offsets = csr.offsets_list()
+        indices = csr.indices_list()
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
         dense = algorithm.dense_frontier
         engine_access = self._engine_access
+        engine_access_block = self._engine_access_block
         activated_bitmap = activated.bitmap
 
         for chunk in chunks:
@@ -76,16 +77,17 @@ class EventPrefetcherEngine(ExecutionEngine):
             for element in index_order_schedule(frontier, chunk):
                 # The prefetch engine chases the per-element indirections.
                 beats += 1
-                engine_latency += engine_access(core, spec.src_offset, element)
-                engine_latency += engine_access(core, spec.src_offset, element + 1)
+                engine_latency += engine_access_block(
+                    core, spec.src_offset, element, 2
+                )
                 engine_latency += engine_access(core, spec.src_value, element)
-                start, end = int(offsets[element]), int(offsets[element + 1])
+                start, end = offsets[element], offsets[element + 1]
                 for position in range(start, end):
-                    dst = int(indices[position])
+                    dst = indices[position]
                     beats += 1
                     engine_latency += engine_access(core, spec.incident, position)
                     engine_latency += engine_access(core, spec.dst_value, dst)
-                    modified = apply_fn(state, hypergraph, element, dst)
+                    modified = apply_fn(element, dst)
                     system.charge_compute(
                         core, config.apply_cycles * algorithm.apply_cost_factor
                     )

@@ -14,7 +14,10 @@ stays in CI-smoke territory:
 - ``reorder-stage`` — the ``locality_reorder`` transform backing the
   ``locality-reorder`` pipeline stage (the PR 9 tentpole's hot new code);
 - ``sim-inner-loop`` — the ChGraph engine inner loop on a seeded
-  affiliation hypergraph (the simulator core every figure rests on).
+  affiliation hypergraph (the simulator core every figure rests on);
+- ``hierarchy-access`` — a seeded demand/engine access mix against the
+  raw ``MemoryHierarchy`` (the PR 10 tentpole's O(1) cache core and
+  batched access paths, isolated from engine overhead).
 
 Setup (dataset builds, prewarming, service boot) runs outside the timed
 region; probes that hold a temp store or a live service return a cleanup.
@@ -202,5 +205,62 @@ def _sim_inner_loop():
         engine = create_engine("ChGraph", resources)
         system = SimulatedSystem(config)
         return engine.run(PageRank(iterations=2), hypergraph, system)
+
+    return thunk
+
+
+@bench(
+    "hierarchy-access",
+    "Seeded demand/engine access mix against the raw MemoryHierarchy",
+)
+def _hierarchy_access():
+    import random
+
+    from repro.sim.hierarchy import MemoryHierarchy
+    from repro.sim.layout import ArrayId
+
+    config = scaled_config(num_cores=_SMALL_CORES, llc_kb=_SMALL_LLC_KB)
+    # A fixed op tape (seeded, built once in setup) replayed against a
+    # fresh hierarchy each repetition: the same mix of single accesses,
+    # line-granular blocks, engine probes and pre-bound prober calls the
+    # engines issue, without any engine bookkeeping in the timed region.
+    rng = random.Random(0x5EED)
+    arrays = [
+        ArrayId.VERTEX_VALUE,
+        ArrayId.HYPEREDGE_VALUE,
+        ArrayId.INCIDENT_VERTEX,
+        ArrayId.BITMAP,
+    ]
+    tape = []
+    for _ in range(20_000):
+        op = rng.randrange(6)
+        core = rng.randrange(_SMALL_CORES)
+        array = arrays[rng.randrange(len(arrays))]
+        index = rng.randrange(4096)
+        count = rng.randrange(1, 17)
+        tape.append((op, core, array, index, count))
+
+    def thunk():
+        hierarchy = MemoryHierarchy(config)
+        probers = {}
+        total = 0
+        for op, core, array, index, count in tape:
+            if op == 0:
+                total += hierarchy.access(core, array, index, write=False)
+            elif op == 1:
+                total += hierarchy.access(core, array, index, write=True)
+            elif op == 2:
+                total += hierarchy.access_block(core, array, index, count, True)
+            elif op == 3:
+                total += hierarchy.engine_access(core, array, index)
+            elif op == 4:
+                total += hierarchy.engine_access_block(core, array, index, count)
+            else:
+                key = (core, array)
+                probe = probers.get(key)
+                if probe is None:
+                    probe = probers[key] = hierarchy.engine_prober(core, array)
+                total += probe(index)
+        return total
 
     return thunk

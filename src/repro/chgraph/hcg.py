@@ -47,12 +47,33 @@ class _HcgProbe(ChainProbe):
         cost: HcgCost,
         edge_base: int,
         dense: bool,
+        access_block: Callable[[int, ArrayId, int, int], int] | None = None,
+        edge_probe: Callable[[int], int] | None = None,
+        offsets_probe: Callable[[int], int] | None = None,
     ) -> None:
         self.access = access
         self.core = core
         self.cost = cost
         self.edge_base = edge_base
         self.dense = dense
+        if access_block is None:
+            def access_block(
+                core: int, array: ArrayId, start: int, count: int
+            ) -> int:
+                return sum(access(core, array, index)
+                           for index in range(start, start + count))
+        self.access_block = access_block
+        if edge_probe is None:
+            def edge_probe(index: int) -> int:
+                return access(core, ArrayId.OAG_EDGE, index)
+        # Pre-bound OAG probes (normally ``engine_prober`` /
+        # ``engine_pair_prober``): neighbor inspection and the offsets-pair
+        # fetch are the HCG's hottest micro-steps.
+        self.edge_probe = edge_probe
+        if offsets_probe is None:
+            def offsets_probe(node: int) -> int:
+                return self.access_block(core, ArrayId.OAG_OFFSET, node, 2)
+        self.offsets_probe = offsets_probe
 
     def _load(self, array: ArrayId, index: int) -> None:
         self.cost.requests += 1
@@ -64,13 +85,16 @@ class _HcgProbe(ChainProbe):
             self._load(ArrayId.BITMAP, element)
 
     def on_offsets_fetch(self, node: int) -> None:
-        self.cost.beats += 1
-        self._load(ArrayId.OAG_OFFSET, node)
-        self._load(ArrayId.OAG_OFFSET, node + 1)
+        cost = self.cost
+        cost.beats += 1
+        cost.requests += 2
+        cost.serial_latency += self.offsets_probe(node)
 
     def on_neighbor_inspect(self, node: int, position: int) -> None:
-        self.cost.beats += 1
-        self._load(ArrayId.OAG_EDGE, self.edge_base + position)
+        cost = self.cost
+        cost.beats += 1
+        cost.requests += 1
+        cost.serial_latency += self.edge_probe(self.edge_base + position)
 
     def on_select(self, element: int) -> None:
         self.cost.beats += 1
@@ -93,13 +117,25 @@ class HardwareChainGenerator:
         access: Callable[[int, ArrayId, int], int],
         edge_base: int = 0,
         dense: bool = False,
+        access_block: Callable[[int, ArrayId, int, int], int] | None = None,
+        edge_probe: Callable[[int], int] | None = None,
+        offsets_probe: Callable[[int], int] | None = None,
     ) -> tuple[ChainSet, HcgCost]:
         """Generate chains for one chunk with engine-side accesses.
 
         ``access(core, array, index) -> latency`` is the engine's path into
-        the memory hierarchy (normally ``MemoryHierarchy.engine_access``).
+        the memory hierarchy (normally ``MemoryHierarchy.engine_access``);
+        ``access_block`` the batched equivalent over an element range
+        (``MemoryHierarchy.engine_access_block``), defaulting to a
+        per-element loop over ``access``; ``edge_probe`` / ``offsets_probe``
+        pre-bound probes for this core's OAG_EDGE element and OAG_OFFSET
+        pair (normally ``MemoryHierarchy.engine_prober`` /
+        ``engine_pair_prober``), defaulting to the unbatched callables.
         """
         cost = HcgCost()
-        probe = _HcgProbe(access, core, cost, edge_base, dense)
+        probe = _HcgProbe(
+            access, core, cost, edge_base, dense, access_block, edge_probe,
+            offsets_probe,
+        )
         chains = self._generator.generate(active, oag, probe=probe)
         return chains, cost

@@ -124,30 +124,37 @@ class ChainGenerator:
             return self._generate_fast(active, oag)
         if probe is None:
             probe = ChainProbe()
-        remaining = active.copy()
+        # Plain-list mirrors of the numpy inputs: the scalar walk touches
+        # them once per micro-step, where numpy scalar indexing costs ~10x a
+        # list index.  ``remaining`` is private to this call; the CSR lists
+        # are the Csr's cached copies.
+        remaining = active.tolist()
         result = ChainSet(chains=[])
-        offsets = oag.csr.offsets
-        edges = oag.csr.indices
+        offsets = oag.csr.offsets_list()
+        edges = oag.csr.indices_list()
         first_id = oag.first_id
+        on_root_scan = probe.on_root_scan
+        root_scans = 0
 
         for root in range(active.size):
             # Root-setting stage: scan the bitmap for the minimal active id.
-            result.root_scans += 1
-            probe.on_root_scan(first_id + root)
+            root_scans += 1
+            on_root_scan(first_id + root)
             if not remaining[root]:
                 continue
             chain = self._explore(
                 root, remaining, offsets, edges, probe, result, first_id
             )
             result.chains.append([first_id + node for node in chain])
+        result.root_scans += root_scans
         return result
 
     def _explore(
         self,
         root: int,
-        remaining: np.ndarray,
-        offsets: np.ndarray,
-        edges: np.ndarray,
+        remaining: list[bool],
+        offsets: list[int],
+        edges: list[int],
         probe: ChainProbe,
         result: ChainSet,
         first_id: int,
@@ -156,20 +163,24 @@ class ChainGenerator:
         chain = [root]
         remaining[root] = False
         probe.on_select(first_id + root)
+        on_offsets_fetch = probe.on_offsets_fetch
+        on_neighbor_inspect = probe.on_neighbor_inspect
+        offsets_fetches = 0
+        neighbor_inspections = 0
         current = root
         depth = 0
         while depth < self.d_max - 1:
             # Offsets-fetching stage.
-            result.offsets_fetches += 1
-            probe.on_offsets_fetch(current)
-            start, end = int(offsets[current]), int(offsets[current + 1])
+            offsets_fetches += 1
+            on_offsets_fetch(current)
+            start, end = offsets[current], offsets[current + 1]
             # Neighbor fetching + selection: the row is weight-descending, so
             # the first unvisited active neighbor is the maximal-weight one.
             successor = -1
             for position in range(start, end):
-                result.neighbor_inspections += 1
-                probe.on_neighbor_inspect(current, position)
-                candidate = int(edges[position])
+                neighbor_inspections += 1
+                on_neighbor_inspect(current, position)
+                candidate = edges[position]
                 if remaining[candidate]:
                     successor = candidate
                     break
@@ -180,6 +191,8 @@ class ChainGenerator:
             probe.on_select(first_id + successor)
             current = successor
             depth += 1
+        result.offsets_fetches += offsets_fetches
+        result.neighbor_inspections += neighbor_inspections
         return chain
 
     def _generate_fast(self, active: np.ndarray, oag: Oag) -> ChainSet:

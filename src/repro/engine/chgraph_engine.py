@@ -94,11 +94,14 @@ class ChGraphEngine(ExecutionEngine):
         self._max_chain_length = 0
         self._chain_fifo_depth = system.config.chain_fifo_depth
         hierarchy = system.hierarchy
+        self._hierarchy = hierarchy
         if hierarchy is not None:
             self._engine_access = hierarchy.engine_access
+            self._engine_access_block = hierarchy.engine_access_block
             self._dram_counter = hierarchy.dram
         else:
             self._engine_access = lambda core, array, index: 0
+            self._engine_access_block = lambda core, array, start, count: 0
             self._dram_counter = None
 
     def _chain_stats(self) -> dict[str, float]:
@@ -145,6 +148,12 @@ class ChGraphEngine(ExecutionEngine):
             else None
         )
         new_orders: list[list[int]] = []
+        # Bound once per phase: the apply closure (never per chunk — the
+        # algorithm may hand out a mirror it reconciles in end_phase) and a
+        # plain-list mirror of the activation bitmap (numpy bool indexing
+        # costs ~3x a list index; flushed back after the chunk loop).
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
+        activated_bitmap = activated.bitmap.tolist()
 
         for chunk_index, chunk in enumerate(chunks):
             core = chunk.core
@@ -171,7 +180,7 @@ class ChGraphEngine(ExecutionEngine):
             cp_cost = CpCost()
             self._process_chunk(
                 system, hypergraph, algorithm, state, spec, core, order,
-                activated, cp_cost,
+                activated_bitmap, cp_cost, apply_fn,
             )
             if self.use_cp:
                 engine_cycles += cp_cost.engine_cycles(
@@ -186,6 +195,8 @@ class ChGraphEngine(ExecutionEngine):
                 )
                 engine_cycles = max(engine_cycles, floor)
             system.charge_engine(core, engine_cycles)
+
+        activated.bitmap[:] = activated_bitmap
 
         if (
             cached_orders is None
@@ -213,8 +224,18 @@ class ChGraphEngine(ExecutionEngine):
         """
         active = frontier.bitmap[chunk.first : chunk.last]
         if self.use_hcg:
+            hierarchy = self._hierarchy
+            edge_probe = offsets_probe = None
+            if hierarchy is not None:
+                edge_probe = hierarchy.engine_prober(core, ArrayId.OAG_EDGE)
+                offsets_probe = hierarchy.engine_pair_prober(
+                    core, ArrayId.OAG_OFFSET
+                )
             chains, cost = self._hcg.generate(
-                active, oag, core, self._engine_access, edge_base, dense
+                active, oag, core, self._engine_access, edge_base, dense,
+                access_block=self._engine_access_block,
+                edge_probe=edge_probe,
+                offsets_probe=offsets_probe,
             )
             cycles = cost.engine_cycles(system.config.hw_stage_cycles)
             on_core = False
@@ -242,76 +263,131 @@ class ChGraphEngine(ExecutionEngine):
         spec: PhaseSpec,
         core: int,
         order: list[int],
-        activated: Frontier,
+        activated_bitmap: list[bool],
         cp_cost: CpCost,
+        apply_fn,
     ) -> None:
         """Interleaved CP prefetch + core Apply for one chunk."""
         config = system.config
         csr = hypergraph.side(spec.src_side)
-        offsets = csr.offsets
-        indices = csr.indices
-        apply_fn = (
-            algorithm.apply_hf if spec.phase == "hyperedge" else algorithm.apply_vf
-        )
+        offsets = csr.offsets_list()
+        indices = csr.indices_list()
         dense = algorithm.dense_frontier
         dst_degree = algorithm.reads_dst_degree
         per_tuple_core = (
             config.apply_cycles * algorithm.apply_cost_factor
             + config.fifo_pop_cycles
         )
+        frontier_cycles = config.frontier_op_cycles
         read = system.read
+        read_block = system.read_block
         write = system.write
         charge = system.charge_compute
-        activated_bitmap = activated.bitmap
+        write_dst = system.demand_writer(core, spec.dst_value)
+        dst_offset = spec.dst_offset
 
-        engine_access = self._engine_access
-        for element in order:
-            if self.use_cp:
-                # CP stages run tuple-by-tuple, a bounded FIFO ahead of the
-                # core, so each prefetched line is consumed (and written)
-                # while still resident — model that by interleaving the CP
-                # loads with the core's Apply at edge granularity.
-                cp_cost.beats += 1  # element acquisition
-                cp_cost.requests += 3
-                cp_cost.overlapped_latency += engine_access(
-                    core, spec.src_offset, element
-                )
-                cp_cost.overlapped_latency += engine_access(
-                    core, spec.src_offset, element + 1
-                )
-                cp_cost.overlapped_latency += engine_access(
-                    core, spec.src_value, element
-                )
-            else:
-                # Ablation: loads stay on the core's demand path.
-                read(core, spec.src_offset, element)
-                read(core, spec.src_offset, element + 1)
+        if not self.use_cp:
+            # Ablation: loads stay on the core's demand path.
+            for element in order:
+                read_block(core, spec.src_offset, element, 2)
                 read(core, spec.src_value, element)
-            start, end = int(offsets[element]), int(offsets[element + 1])
-            for position in range(start, end):
-                dst = int(indices[position])
-                if self.use_cp:
-                    cp_cost.beats += 1
-                    cp_cost.tuples += 1
-                    cp_cost.requests += 2
-                    cp_cost.overlapped_latency += engine_access(
-                        core, spec.incident, position
-                    )
-                    cp_cost.overlapped_latency += engine_access(
-                        core, spec.dst_value, dst
-                    )
-                else:
+                start, end = offsets[element], offsets[element + 1]
+                for position in range(start, end):
+                    dst = indices[position]
                     read(core, spec.incident, position)
                     read(core, spec.dst_value, dst)
+                    if dst_degree:
+                        read_block(core, dst_offset, dst, 2)
+                    modified = apply_fn(element, dst)
+                    charge(core, per_tuple_core)
+                    if modified:
+                        write_dst(dst)
+                        if not activated_bitmap[dst]:
+                            activated_bitmap[dst] = True
+                            if not dense:
+                                write(core, ArrayId.BITMAP, dst)
+                                charge(core, frontier_cycles)
+            return
+
+        # CP stages run tuple-by-tuple, a bounded FIFO ahead of the core,
+        # so each prefetched line is consumed (and written) while still
+        # resident — model that by interleaving the CP loads with the
+        # core's Apply at edge granularity.  The CP counters accumulate in
+        # locals (ints, so folding is exact) and land on ``cp_cost`` once;
+        # the uniform per-tuple core charges accumulate as a run and are
+        # flushed through ``charge_compute_run`` before any *different*
+        # compute charge, preserving the accumulator's addition order.
+        charge_run = system.charge_compute_run
+        hierarchy = system.hierarchy
+        if hierarchy is not None:
+            # Uncounted probers: the loop below knows exactly how many
+            # probes it issues (1 per element + 2 per tuple), so the probe
+            # counter is settled once at the end instead of per access.
+            probe_src = hierarchy.engine_prober(core, spec.src_value, counted=False)
+            probe_inc = hierarchy.engine_prober(core, spec.incident, counted=False)
+            probe_dst = hierarchy.engine_prober(core, spec.dst_value, counted=False)
+            probe_off = hierarchy.engine_pair_prober(core, spec.src_offset)
+        else:
+            engine_access = self._engine_access
+            src_value = spec.src_value
+            incident = spec.incident
+            dst_value = spec.dst_value
+
+            def probe_src(element: int) -> int:
+                return engine_access(core, src_value, element)
+
+            def probe_inc(position: int) -> int:
+                return engine_access(core, incident, position)
+
+            def probe_dst(dst: int) -> int:
+                return engine_access(core, dst_value, dst)
+
+            engine_access_block = self._engine_access_block
+            src_offset = spec.src_offset
+
+            def probe_off(element: int) -> int:
+                return engine_access_block(core, src_offset, element, 2)
+
+        beats = 0
+        requests = 0
+        tuples = 0
+        charged = 0  # tuples whose core charge has been flushed
+        overlapped = 0
+        for element in order:
+            overlapped += probe_off(element)
+            overlapped += probe_src(element)
+            start, end = offsets[element], offsets[element + 1]
+            # CP counters per element: 1 beat + 3 requests for acquisition,
+            # then 1 beat + 2 requests per tuple — hoisted out of the tuple
+            # loop (int sums, exact).  ``tuple_base`` recovers the running
+            # tuple count mid-element for the charge-flush watermark.
+            n = end - start
+            beats += 1 + n
+            requests += 3 + 2 * n
+            tuple_base = tuples
+            tuples += n
+            for position in range(start, end):
+                dst = indices[position]
+                overlapped += probe_inc(position)
+                overlapped += probe_dst(dst)
                 if dst_degree:
-                    read(core, spec.dst_offset, dst)
-                    read(core, spec.dst_offset, dst + 1)
-                modified = apply_fn(state, hypergraph, element, dst)
-                charge(core, per_tuple_core)
-                if modified:
-                    write(core, spec.dst_value, dst)
+                    read_block(core, dst_offset, dst, 2)
+                if apply_fn(element, dst):
+                    write_dst(dst)
                     if not activated_bitmap[dst]:
                         activated_bitmap[dst] = True
                         if not dense:
+                            done = tuple_base + (position - start + 1)
+                            charge_run(core, per_tuple_core, done - charged)
+                            charged = done
                             write(core, ArrayId.BITMAP, dst)
-                            charge(core, config.frontier_op_cycles)
+                            charge(core, frontier_cycles)
+        charge_run(core, per_tuple_core, tuples - charged)
+        if hierarchy is not None:
+            # Settle the uncounted probers: 1 probe per element + 2 per
+            # tuple = requests − 2·elements (the block accesses self-count).
+            hierarchy.engine_probes += requests - 2 * len(order)
+        cp_cost.beats += beats
+        cp_cost.requests += requests
+        cp_cost.tuples += tuples
+        cp_cost.overlapped_latency += overlapped

@@ -66,8 +66,7 @@ class _SoftwareChainProbe(ChainProbe):
         self.system.charge_compute(self.core, self.system.config.frontier_op_cycles)
 
     def on_offsets_fetch(self, node: int) -> None:
-        self.system.read_serial(self.core, ArrayId.OAG_OFFSET, node)
-        self.system.read_serial(self.core, ArrayId.OAG_OFFSET, node + 1)
+        self.system.read_serial_block(self.core, ArrayId.OAG_OFFSET, node, 2)
         if self.oag is not None:
             degree = self.oag.csr.degree(node)
             if degree > 1:
@@ -167,6 +166,7 @@ class SoftwareGlaEngine(ExecutionEngine):
                 self._dense_schedule_cache[spec.phase] = orders
 
         sw_load = system.config.sw_load_cycles
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
         for chunk, order in zip(chunks, orders):
             process_elements_demand(
                 system,
@@ -179,4 +179,5 @@ class SoftwareGlaEngine(ExecutionEngine):
                 activated,
                 extra_element_cycles=sw_load,
                 extra_tuple_cycles=sw_load,
+                apply_fn=apply_fn,
             )

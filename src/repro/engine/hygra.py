@@ -38,6 +38,7 @@ def process_elements_demand(
     activated: Frontier,
     extra_element_cycles: float = 0.0,
     extra_tuple_cycles: float = 0.0,
+    apply_fn=None,
 ) -> None:
     """Process scheduled elements with all accesses on the core's demand path.
 
@@ -49,19 +50,33 @@ def process_elements_demand(
     or sparse lists — and are charged by the caller).  The ``extra_*``
     cycles let the software GLA engine charge its chain-queue indirection
     and tuple-packing overhead on the same path.
+
+    ``apply_fn`` is the phase's bound ``apply(src, dst)`` closure.  Engines
+    that call this once per phase should pass ``algorithm.phase_apply(...)``
+    themselves (the hook must run once per *phase*, not per chunk); when
+    omitted, the update methods are bound directly — always safe, never
+    mirror-backed.
     """
     config = system.config
     csr = hypergraph.side(spec.src_side)
-    offsets = csr.offsets
-    indices = csr.indices
-    apply_fn = (
-        algorithm.apply_hf if spec.phase == PHASE_HYPEREDGE else algorithm.apply_vf
-    )
+    offsets = csr.offsets_list()
+    indices = csr.indices_list()
+    if apply_fn is None:
+        fn = (
+            algorithm.apply_hf
+            if spec.phase == PHASE_HYPEREDGE
+            else algorithm.apply_vf
+        )
+
+        def apply_fn(src, dst, _fn=fn):
+            return _fn(state, hypergraph, src, dst)
+
     dense = algorithm.dense_frontier
     dst_degree = algorithm.reads_dst_degree
     apply_cycles = config.apply_cycles * algorithm.apply_cost_factor
     frontier_cycles = config.frontier_op_cycles
     read = system.read
+    read_block = system.read_block
     write = system.write
     charge = system.charge_compute
     activated_bitmap = activated.bitmap
@@ -69,18 +84,16 @@ def process_elements_demand(
     for element in elements:
         if extra_element_cycles:
             charge(core, extra_element_cycles)
-        read(core, spec.src_offset, element)
-        read(core, spec.src_offset, element + 1)
+        read_block(core, spec.src_offset, element, 2)
         read(core, spec.src_value, element)
-        start, end = int(offsets[element]), int(offsets[element + 1])
+        start, end = offsets[element], offsets[element + 1]
         for position in range(start, end):
             read(core, spec.incident, position)
-            dst = int(indices[position])
+            dst = indices[position]
             if dst_degree:
-                read(core, spec.dst_offset, dst)
-                read(core, spec.dst_offset, dst + 1)
+                read_block(core, spec.dst_offset, dst, 2)
             read(core, spec.dst_value, dst)
-            modified = apply_fn(state, hypergraph, element, dst)
+            modified = apply_fn(element, dst)
             charge(core, apply_cycles + extra_tuple_cycles)
             if modified:
                 write(core, spec.dst_value, dst)
@@ -138,6 +151,7 @@ class HygraEngine(ExecutionEngine):
         chunks: list[Chunk],
         activated: Frontier,
     ) -> None:
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
         for chunk in chunks:
             charge_frontier_traversal(
                 system, chunk.core, chunk, frontier, algorithm,
@@ -153,4 +167,5 @@ class HygraEngine(ExecutionEngine):
                 chunk.core,
                 elements,
                 activated,
+                apply_fn=apply_fn,
             )

@@ -45,6 +45,7 @@ class InterleavedHygraEngine(HygraEngine):
         chunks: list[Chunk],
         activated: Frontier,
     ) -> None:
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
         schedules = []
         for chunk in chunks:
             charge_frontier_traversal(
@@ -69,5 +70,6 @@ class InterleavedHygraEngine(HygraEngine):
                         core,
                         [elements[position]],
                         activated,
+                        apply_fn=apply_fn,
                     )
             position += 1

@@ -16,7 +16,6 @@ paper models.  Results are identical to push by construction: the same
 from __future__ import annotations
 
 from repro.algorithms.base import (
-    PHASE_HYPEREDGE,
     AlgorithmState,
     HypergraphAlgorithm,
 )
@@ -52,11 +51,9 @@ class PullHygraEngine(ExecutionEngine):
         # computation, where sources are vertices).
         dst_side = "hyperedge" if spec.src_side == "vertex" else "vertex"
         dst_csr = hypergraph.side(dst_side)
-        offsets = dst_csr.offsets
-        indices = dst_csr.indices
-        apply_fn = (
-            algorithm.apply_hf if spec.phase == PHASE_HYPEREDGE else algorithm.apply_vf
-        )
+        offsets = dst_csr.offsets_list()
+        indices = dst_csr.indices_list()
+        apply_fn = algorithm.phase_apply(state, hypergraph, spec.phase)
         # The positions walked are the destination side's incidence list
         # (e.g. incident_vertex while gathering into hyperedges), the mirror
         # of the push engines' array.
@@ -70,6 +67,7 @@ class PullHygraEngine(ExecutionEngine):
         frontier_bitmap = frontier.bitmap
         activated_bitmap = activated.bitmap
         read = system.read
+        read_block = system.read_block
         write = system.write
         charge = system.charge_compute
 
@@ -78,13 +76,12 @@ class PullHygraEngine(ExecutionEngine):
         for chunk in dst_chunks:
             core = chunk.core
             for dst in chunk.ids():
-                read(core, spec.dst_offset, dst)
-                read(core, spec.dst_offset, dst + 1)
+                read_block(core, spec.dst_offset, dst, 2)
                 read(core, spec.dst_value, dst)
-                start, end = int(offsets[dst]), int(offsets[dst + 1])
+                start, end = offsets[dst], offsets[dst + 1]
                 touched = False
                 for position in range(start, end):
-                    src = int(indices[position])
+                    src = indices[position]
                     read(core, gather_incident, position)
                     if not dense:
                         # The pull tax: probe every incident source's bit.
@@ -93,7 +90,7 @@ class PullHygraEngine(ExecutionEngine):
                         if not frontier_bitmap[src]:
                             continue
                     read(core, spec.src_value, src)
-                    modified = apply_fn(state, hypergraph, src, dst)
+                    modified = apply_fn(src, dst)
                     charge(core, apply_cycles)
                     touched = touched or modified
                 if touched:

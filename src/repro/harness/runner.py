@@ -51,7 +51,12 @@ from repro.hypergraph.pipeline import (
     apply_pipeline,
 )
 from repro.sim.config import SystemConfig
-from repro.sim.observe import InstrumentedSystem
+from repro.sim.observe import (
+    IterationTimeline,
+    Observer,
+    PhaseProfiler,
+    instrument,
+)
 from repro.sim.system import SimulatedSystem
 
 __all__ = ["ALGORITHM_NAMES", "Runner", "get_runner", "PAPER_APPS"]
@@ -298,13 +303,16 @@ class Runner:
             spec.engine, pipeline.hypergraph, spec.config, preprocessing
         )
         algorithm = self.algorithm(spec.algorithm)
-        system = SimulatedSystem(spec.config)
+        observers: list[Observer] = []
         if spec.profile:
-            system = InstrumentedSystem.profiled(system)
+            observers += [PhaseProfiler(), IterationTimeline()]
         if spec.check:
             from repro.sim.invariants import InvariantChecker
 
-            system.add_observer(InvariantChecker())
+            observers.append(InvariantChecker())
+        # instrument() hands back the bare system when no observer is
+        # attached, so unprofiled runs skip the middleware dispatch.
+        system = instrument(SimulatedSystem(spec.config), observers)
         result = engine.run(algorithm, pipeline.hypergraph, system)
         if pipeline.vertex_perm is not None:
             result = _unpermute_result(result, pipeline.vertex_perm)

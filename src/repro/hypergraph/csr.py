@@ -26,7 +26,14 @@ class Csr:
     parallel to ``indices``.
     """
 
-    __slots__ = ("offsets", "indices", "weights")
+    __slots__ = (
+        "offsets",
+        "indices",
+        "weights",
+        "_offsets_list",
+        "_indices_list",
+        "_degrees_list",
+    )
 
     def __init__(
         self,
@@ -53,6 +60,13 @@ class Csr:
         self.offsets = offsets
         self.indices = indices
         self.weights = weights
+        # Lazily-built plain-list mirrors for the simulator inner loops: a
+        # Python-int list index is several times cheaper than extracting a
+        # numpy scalar per element.  The structure is immutable (see
+        # ``Hypergraph.content_hash``), so the mirrors never go stale.
+        self._offsets_list: list[int] | None = None
+        self._indices_list: list[int] | None = None
+        self._degrees_list: list[int] | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -89,6 +103,24 @@ class Csr:
 
     def degree(self, row: int) -> int:
         return int(self.offsets[row + 1] - self.offsets[row])
+
+    def offsets_list(self) -> list[int]:
+        """``offsets`` as a cached plain-int list (hot-loop mirror)."""
+        if self._offsets_list is None:
+            self._offsets_list = self.offsets.tolist()
+        return self._offsets_list
+
+    def indices_list(self) -> list[int]:
+        """``indices`` as a cached plain-int list (hot-loop mirror)."""
+        if self._indices_list is None:
+            self._indices_list = self.indices.tolist()
+        return self._indices_list
+
+    def degrees_list(self) -> list[int]:
+        """Per-row degrees as a cached plain-int list (hot-loop mirror)."""
+        if self._degrees_list is None:
+            self._degrees_list = np.diff(self.offsets).tolist()
+        return self._degrees_list
 
     def neighbors(self, row: int) -> np.ndarray:
         return self.indices[self.offsets[row] : self.offsets[row + 1]]

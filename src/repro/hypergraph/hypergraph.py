@@ -112,11 +112,11 @@ class Hypergraph:
 
     def hyperedge_degree(self, h: int) -> int:
         """``deg(h)``: the number of vertices incident to hyperedge ``h``."""
-        return self.hyperedges.degree(h)
+        return self.hyperedges.degrees_list()[h]
 
     def vertex_degree(self, v: int) -> int:
         """``deg(v)``: the number of hyperedges incident to vertex ``v``."""
-        return self.vertices.degree(v)
+        return self.vertices.degrees_list()[v]
 
     def incident_vertices(self, h: int) -> np.ndarray:
         """``N(h)``: the vertices connected by hyperedge ``h``."""

@@ -9,6 +9,7 @@ from repro.sim.observe import (
     Observer,
     PhaseProfiler,
     TraceObserver,
+    instrument,
 )
 from repro.sim.protocol import EngineEvent, MemorySystem
 from repro.sim.reuse import ReuseProfile, profile_stream
@@ -40,6 +41,7 @@ __all__ = [
     "SystemConfig",
     "TraceObserver",
     "TracingSystem",
+    "instrument",
     "profile_stream",
     "scaled_config",
     "table1_config",

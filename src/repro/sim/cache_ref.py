@@ -1,22 +1,20 @@
-"""A set-associative cache model with LRU replacement — O(1) per probe.
+"""The reference LRU cache model: per-set Python lists, O(associativity).
 
-This is the functional building block of the Table I hierarchy.  It tracks
-presence only (no data), which is all that hit/miss accounting needs; MESI
-state is reduced to a valid/dirty bit per line because the engines modelled
-here are synchronous (the paper notes ChGraph has "no coherency issues" —
-updates from an iteration are only read in the next one).
+This is the original implementation of :class:`repro.sim.cache.Cache`,
+kept verbatim as the behavioural oracle for the O(1) rewrite.  Every probe
+walks (and reorders) a plain recency list, which makes the LRU semantics
+obvious at the cost of ``list.remove``/``list.pop`` scans on the hot path.
+``tests/sim/test_cache_differential.py`` drives randomized probe sequences
+through both implementations and asserts identical hits, misses,
+evictions, writebacks, victim choices, dirty bits, residency order and
+occupancy — the fast model in :mod:`repro.sim.cache` must never diverge
+from this one.
 
-Each set is a ``dict[int, None]`` exploiting insertion order as the
-recency order: the LRU line is the first key, the MRU line the last, and a
-promote is ``del`` + re-insert — every operation (``lookup``/``fill``/
-``victim_of``/``invalidate``/``mark_dirty``) is O(1) instead of the
-O(associativity) ``list.remove``/``list.append`` scans of the original
-implementation, which is preserved verbatim in :mod:`repro.sim.cache_ref`
-and differential-tested against this one
-(``tests/sim/test_cache_differential.py``).  A dict that only ever sees
-``del`` + insert of the same key set never rehashes pathologically, and its
-iteration order equals the reference list's recency order exactly, so even
-``resident_lines()`` is order-identical.
+Semantics (shared with the fast model): presence only (no data), which is
+all that hit/miss accounting needs; MESI state is reduced to a valid/dirty
+bit per line because the engines modelled here are synchronous (the paper
+notes ChGraph has "no coherency issues" — updates from an iteration are
+only read in the next one).
 """
 
 from __future__ import annotations
@@ -71,9 +69,9 @@ class Cache:
         self.num_sets = size_bytes // (associativity * line_size)
         if self.num_sets < 1:
             raise ValueError("cache must have at least one set")
-        # Each set is a recency-ordered dict of line numbers (LRU first,
-        # MRU last), with a parallel dirty-line set.
-        self._sets: list[dict[int, None]] = [{} for _ in range(self.num_sets)]
+        # Each set is an LRU-ordered list of line numbers (MRU at the end),
+        # with a parallel dirty-line set.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
         self._dirty: set[int] = set()
         self.stats = CacheStats()
 
@@ -82,10 +80,10 @@ class Cache:
 
     def lookup(self, line: int) -> bool:
         """Probe without allocating; promotes to MRU on hit."""
-        ways = self._sets[line % self.num_sets]
+        ways = self._sets[self._set_index(line)]
         if line in ways:
-            del ways[line]
-            ways[line] = None
+            ways.remove(line)
+            ways.append(line)
             self.stats.hits += 1
             return True
         self.stats.misses += 1
@@ -97,22 +95,21 @@ class Cache:
         ``dirty`` marks the incoming line as modified (a write-allocate).
         A dirty victim bumps the writeback counter before being returned.
         """
-        ways = self._sets[line % self.num_sets]
+        ways = self._sets[self._set_index(line)]
         if line in ways:  # refill of a present line: just promote
-            del ways[line]
-            ways[line] = None
+            ways.remove(line)
+            ways.append(line)
             if dirty:
                 self._dirty.add(line)
             return None
         victim = None
         if len(ways) >= self.associativity:
-            victim = next(iter(ways))  # LRU = oldest insertion
-            del ways[victim]
+            victim = ways.pop(0)
             self.stats.evictions += 1
             if victim in self._dirty:
                 self._dirty.discard(victim)
                 self.stats.writebacks += 1
-        ways[line] = None
+        ways.append(line)
         if dirty:
             self._dirty.add(line)
         return victim
@@ -134,16 +131,16 @@ class Cache:
         for checking :meth:`is_dirty` first and writing the line back down
         the hierarchy — see ``MemoryHierarchy._back_invalidate``.
         """
-        ways = self._sets[line % self.num_sets]
+        ways = self._sets[self._set_index(line)]
         if line in ways:
-            del ways[line]
+            ways.remove(line)
             self._dirty.discard(line)
             return True
         return False
 
     def contains(self, line: int) -> bool:
         """Presence check without touching LRU order or stats."""
-        return line in self._sets[line % self.num_sets]
+        return line in self._sets[self._set_index(line)]
 
     def victim_of(self, line: int) -> int | None:
         """The line :meth:`fill` would evict for ``line``, without filling.
@@ -153,10 +150,10 @@ class Cache:
         callers can inspect the victim's dirty bit *before* the fill
         discards it.
         """
-        ways = self._sets[line % self.num_sets]
+        ways = self._sets[self._set_index(line)]
         if line in ways or len(ways) < self.associativity:
             return None
-        return next(iter(ways))
+        return ways[0]
 
     def is_dirty(self, line: int) -> bool:
         """Dirty-bit check without touching LRU order or stats."""
@@ -170,7 +167,7 @@ class Cache:
         the original miss), so absorbing the writeback updates state only.
         Returns ``False`` (and does nothing) when the line is not resident.
         """
-        if line not in self._sets[line % self.num_sets]:
+        if not self.contains(line):
             return False
         self._dirty.add(line)
         return True

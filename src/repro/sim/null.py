@@ -39,11 +39,31 @@ class NullSystem:
     def write(self, core: int, array: ArrayId, index: int) -> int:
         return 0
 
+    def read_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        return 0
+
+    def read_serial_block(
+        self, core: int, array: ArrayId, start: int, count: int
+    ) -> int:
+        return 0
+
+    def write_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        return 0
+
     def engine_read(self, core: int, array: ArrayId, index: int) -> int:
         return 0
 
     def charge_compute(self, core: int, cycles: float) -> None:
         pass
+
+    def charge_compute_run(self, core: int, cycles: float, count: int) -> None:
+        pass
+
+    def demand_writer(self, core: int, array: ArrayId):
+        def write_one(index: int) -> int:
+            return 0
+
+        return write_one
 
     def charge_engine(self, core: int, cycles: float) -> None:
         pass

@@ -46,6 +46,7 @@ __all__ = [
     "Observer",
     "PhaseProfiler",
     "TraceObserver",
+    "instrument",
 ]
 
 
@@ -198,6 +199,23 @@ class TraceObserver(Observer):
         self.trace.append(TraceEvent(kind, core, array, index))
 
 
+def instrument(
+    inner: MemorySystem, observers: "list[Observer] | None" = None
+) -> MemorySystem:
+    """Wrap ``inner`` for observation — or don't, when nobody is listening.
+
+    With a non-empty observer list this returns an
+    :class:`InstrumentedSystem`; with an empty (or ``None``) list it
+    returns ``inner`` itself, so unobserved runs pay zero middleware
+    dispatch on the access hot path.  Callers that need the telemetry
+    accessors should check ``isinstance(system, InstrumentedSystem)``
+    (they already must: a bare system has no ``telemetry()``).
+    """
+    if not observers:
+        return inner
+    return InstrumentedSystem(inner, observers)
+
+
 class InstrumentedSystem:
     """A :class:`MemorySystem` that narrates another system's run.
 
@@ -261,6 +279,32 @@ class InstrumentedSystem:
             observer.on_access("write", core, array, index, latency)
         return latency
 
+    # Batched accesses degrade to the per-element loop here: observers are
+    # promised one ``on_access`` per element with that element's latency,
+    # and the per-element loop is bit-identical to the batched walk by the
+    # batching contract — so an instrumented run observes exactly what an
+    # uninstrumented batched run simulates.
+
+    def read_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        total = 0
+        for index in range(start, start + count):
+            total += self.read(core, array, index)
+        return total
+
+    def write_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        total = 0
+        for index in range(start, start + count):
+            total += self.write(core, array, index)
+        return total
+
+    def read_serial_block(
+        self, core: int, array: ArrayId, start: int, count: int
+    ) -> int:
+        total = 0
+        for index in range(start, start + count):
+            total += self.read_serial(core, array, index)
+        return total
+
     def engine_read(self, core: int, array: ArrayId, index: int) -> int:
         latency = self.inner.engine_read(core, array, index)
         for observer in self.observers:
@@ -271,6 +315,18 @@ class InstrumentedSystem:
         self.inner.charge_compute(core, cycles)
         for observer in self.observers:
             observer.on_compute(core, cycles)
+
+    def charge_compute_run(self, core: int, cycles: float, count: int) -> None:
+        # Observers are promised one on_compute per charge.
+        for _ in range(count):
+            self.charge_compute(core, cycles)
+
+    def demand_writer(self, core: int, array: ArrayId):
+        # Route each write through the observing ``write``.
+        def write_one(index: int) -> int:
+            return self.write(core, array, index)
+
+        return write_one
 
     def charge_engine(self, core: int, cycles: float) -> None:
         self.inner.charge_engine(core, cycles)

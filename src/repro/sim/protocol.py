@@ -21,7 +21,7 @@ listening; the instrumented middleware fans them out to its observers.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
 from repro.sim.config import SystemConfig
 from repro.sim.layout import ArrayId
@@ -94,7 +94,32 @@ class MemorySystem(Protocol):
 
     def write(self, core: int, array: ArrayId, index: int) -> int: ...
 
+    # Batched (line-granular) variants over ``count`` consecutive elements.
+    # Contract: bit-identical to the equivalent per-element loop — see
+    # ``MemoryHierarchy.access_block`` for the proof sketch.
+
+    def read_block(self, core: int, array: ArrayId, start: int, count: int) -> int: ...
+
+    def read_serial_block(
+        self, core: int, array: ArrayId, start: int, count: int
+    ) -> int: ...
+
+    def write_block(self, core: int, array: ArrayId, start: int, count: int) -> int: ...
+
     def charge_compute(self, core: int, cycles: float) -> None: ...
+
+    # A run of ``count`` identical compute charges in one call.  Contract:
+    # the accumulators receive the same sequence of float additions as
+    # ``count`` separate ``charge_compute`` calls (per-tuple cycle costs
+    # are non-integer floats, so the sum must not be regrouped).
+    def charge_compute_run(self, core: int, cycles: float, count: int) -> None: ...
+
+    # A pre-bound per-(core, array) write closure for per-tuple hot loops.
+    # Contract: each ``write_one(index)`` call is equivalent to
+    # ``write(core, array, index)``.
+    def demand_writer(
+        self, core: int, array: ArrayId
+    ) -> Callable[[int], int]: ...
 
     # -- engine-side charging (decoupled access engines) ---------------------
 

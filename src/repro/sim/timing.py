@@ -132,7 +132,9 @@ class PhaseTimer:
         )
         self.breakdown.engine_cycles += self._engine[busiest]
         self.breakdown.barriers += 1
-        self._compute = [0.0] * self.num_cores
-        self._memory = [0.0] * self.num_cores
-        self._engine = [0.0] * self.num_cores
+        # Reset in place: SimulatedSystem holds direct references to these
+        # lists as its charging fast path.
+        self._compute[:] = [0.0] * self.num_cores
+        self._memory[:] = [0.0] * self.num_cores
+        self._engine[:] = [0.0] * self.num_cores
         return phase

@@ -66,6 +66,35 @@ class TracingSystem(SimulatedSystem):
         self.trace.append(TraceEvent("engine", core, array, index))
         return super().engine_read(core, array, index)
 
+    # Batched accesses record one event per *element* so a recorded trace is
+    # independent of whether the engine used the batched or per-element API
+    # (replaying a per-element stream through a hierarchy is bit-identical
+    # to the batched walk — that is the batching contract).
+
+    def read_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        append = self.trace.append
+        for index in range(start, start + count):
+            append(TraceEvent("read", core, array, index))
+        return super().read_block(core, array, start, count)
+
+    def write_block(self, core: int, array: ArrayId, start: int, count: int) -> int:
+        append = self.trace.append
+        for index in range(start, start + count):
+            append(TraceEvent("write", core, array, index))
+        return super().write_block(core, array, start, count)
+
+    # read_serial_block needs no override: the base implementation loops
+    # over ``self.read_serial`` (it must — serial reads charge the compute
+    # accumulator per element), which dispatches to the recording override.
+
+    def demand_writer(self, core: int, array: ArrayId):
+        # The base class's fast closure would bypass recording; route each
+        # write through the overridden ``write`` instead.
+        def write_one(index: int) -> int:
+            return self.write(core, array, index)
+
+        return write_one
+
 
 # The ChGraph engine reaches the hierarchy directly (hierarchy.engine_access)
 # rather than through the system facade, so tracing is complete for the

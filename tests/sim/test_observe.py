@@ -12,12 +12,15 @@ from repro.sim import (
     InstrumentedSystem,
     IterationTimeline,
     NullSystem,
+    Observer,
     PhaseProfiler,
     SimulatedSystem,
     TraceObserver,
     TracingSystem,
+    instrument,
     scaled_config,
 )
+from repro.sim.layout import ArrayId
 
 
 def make_system() -> SimulatedSystem:
@@ -114,3 +117,46 @@ def test_chgraph_fifo_stats_only_under_instrumentation(small_hypergraph) -> None
     assert fifo["max_chain_length"] >= fifo["chain_fifo_peak"]
     assert profiled.telemetry.chain_stats["chains"] > 0
     assert profiled.cycles == plain.cycles
+
+
+def test_instrument_with_no_observers_returns_bare_system() -> None:
+    """The zero-observer passthrough: unobserved runs must pay no wrapper
+    dispatch, so ``instrument`` hands back the inner system itself."""
+    system = make_system()
+    assert instrument(system, []) is system
+    assert instrument(system, None) is system
+    wrapped = instrument(system, [PhaseProfiler()])
+    assert isinstance(wrapped, InstrumentedSystem)
+    assert wrapped.inner is system
+
+
+class _ComputeCounter(Observer):
+    def __init__(self) -> None:
+        self.events: list[tuple[int, float]] = []
+
+    def on_compute(self, core: int, cycles: float) -> None:
+        self.events.append((core, cycles))
+
+
+def test_charge_compute_run_forwards_one_event_per_charge() -> None:
+    """Observers are promised one on_compute hook per charge — the batched
+    entry point must not collapse them."""
+    counter = _ComputeCounter()
+    system = InstrumentedSystem(make_system(), [counter])
+    system.charge_compute_run(1, 2.5, 7)
+    assert counter.events == [(1, 2.5)] * 7
+    assert system.inner.total_compute_cycles == sum(c for _, c in counter.events)
+
+
+def test_demand_writer_routes_through_observed_write() -> None:
+    """The instrumented system's demand_writer must not hand out the inner
+    system's fast closure — every write must reach the observers."""
+    observed = InstrumentedSystem(make_system(), [TraceObserver()])
+    writer = observed.demand_writer(0, ArrayId.VERTEX_VALUE)
+    reference = make_system()
+    for index in (3, 3, 11, 200):
+        assert writer(index) == reference.write(0, ArrayId.VERTEX_VALUE, index)
+    trace = observed.observer(TraceObserver).trace
+    assert [(e.kind, e.index) for e in trace] == [
+        ("write", 3), ("write", 3), ("write", 11), ("write", 200)
+    ]

@@ -66,3 +66,18 @@ def test_trace_file_roundtrip(traced_run, tmp_path):
     assert loaded == system.trace[:500]
     assert isinstance(loaded[0], TraceEvent)
     assert isinstance(loaded[0].array, ArrayId)
+
+
+def test_demand_writer_records_every_write():
+    """The tracing system's demand_writer must not hand out the base
+    class's fast closure — every per-tuple write lands in the trace."""
+    config = scaled_config(num_cores=2, llc_kb=2)
+    tracing = TracingSystem(config)
+    reference = SimulatedSystem(config)
+    writer = tracing.demand_writer(1, ArrayId.VERTEX_VALUE)
+    for index in (0, 9, 9, 31):
+        assert writer(index) == reference.write(1, ArrayId.VERTEX_VALUE, index)
+    assert tracing.trace == [
+        TraceEvent("write", 1, ArrayId.VERTEX_VALUE, index)
+        for index in (0, 9, 9, 31)
+    ]
